@@ -1,0 +1,22 @@
+"""Figure 1: DRAM-cache hit/miss breakdown per workload.
+
+Regenerates the six-category breakdown (read/write x hit/miss-clean/
+miss-dirty) and checks the miss-ratio grouping the paper reports: the
+suite splits into a below-30 % and an above-50 % group.
+"""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments.figures import fig01_hit_miss_breakdown
+from repro.workloads.base import MissClass
+
+
+def test_fig01_hit_miss_breakdown(benchmark, ctx):
+    result = run_and_render(benchmark, fig01_hit_miss_breakdown, ctx)
+    groups = {row["workload"]: (row["group"], row["miss_ratio"])
+              for row in result.rows}
+    for spec in ctx.specs:
+        group, miss = groups[spec.name]
+        if spec.miss_class is MissClass.LOW:
+            assert miss < 0.35, (spec.name, miss)
+        else:
+            assert miss > 0.45, (spec.name, miss)

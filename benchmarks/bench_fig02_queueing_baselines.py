@@ -1,0 +1,17 @@
+"""Figure 2: queueing delay of DRAM reads — existing caches vs no cache.
+
+The paper's motivating observation: Cascade Lake/Alloy/BEAR queue reads
+longer than a system without any DRAM cache queues at main memory,
+because every demand (including writes) fights for the read buffer.
+"""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments.figures import fig02_queueing_baselines
+
+
+def test_fig02_queueing_baselines(benchmark, ctx):
+    result = run_and_render(benchmark, fig02_queueing_baselines, ctx)
+    means = result.rows[-1]
+    # Every cache design shows a non-trivial read-buffer queueing delay.
+    for design in ("cascade_lake", "alloy", "bear"):
+        assert means[design] > 0

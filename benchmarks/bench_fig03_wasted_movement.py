@@ -1,0 +1,23 @@
+"""Figure 3: useful vs unuseful data movement in CL/Alloy/BEAR.
+
+The tag-check reads of read/write-miss-cleans and write-hits are
+discarded by the controller; Alloy/BEAR's 80 B bursts add 16 B of
+overhead to every access.
+"""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments.figures import fig03_wasted_movement, geomean
+from repro.workloads.base import MissClass
+
+
+def test_fig03_wasted_movement(benchmark, ctx):
+    result = run_and_render(benchmark, fig03_wasted_movement, ctx)
+    rows = {row["workload"]: row for row in result.rows}
+    high = [s.name for s in ctx.specs if s.miss_class is MissClass.HIGH]
+    low = [s.name for s in ctx.specs if s.miss_class is MissClass.LOW]
+    # Wasted movement rises with the miss ratio (paper: ft/is/mg/ua worst).
+    assert geomean([rows[w]["cascade_lake_unuseful"] for w in high]) > \
+        geomean([rows[w]["cascade_lake_unuseful"] for w in low])
+    # Alloy's 80 B bursts waste more than Cascade Lake's 64 B.
+    for name in high:
+        assert rows[name]["alloy_unuseful"] >= rows[name]["cascade_lake_unuseful"]

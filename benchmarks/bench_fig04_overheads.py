@@ -1,0 +1,21 @@
+"""Figure 4A + §III-C5: TDRAM's pin and die-area overhead vs HBM3.
+
+Analytic targets: +192 signals (~9.7 %), 8.24 % die area, fitting the
+HBM3 package's unused bump sites.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_render
+from repro.experiments.figures import fig04_overheads
+
+
+def test_fig04_overheads(benchmark):
+    result = run_and_render(benchmark, fig04_overheads)
+    values = {row["quantity"]: row["value"] for row in result.rows}
+    assert values["extra CA+HM signals per stack"] == 192
+    assert values["signal overhead vs HBM3 (frac)"] == \
+        pytest.approx(0.097, abs=0.002)
+    assert values["total die-area overhead (frac)"] == \
+        pytest.approx(0.0824, abs=0.0005)
+    assert values["fits in HBM3 unused bumps (1=yes)"] == 1.0

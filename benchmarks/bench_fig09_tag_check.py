@@ -1,0 +1,22 @@
+"""Figure 9: tag-check latency across designs.
+
+Paper geomean ratios vs TDRAM: Cascade Lake 2.6x, Alloy 2.65x, BEAR 2x,
+NDC 1.82x. The reproduction checks the ordering and that the ratios
+fall in the right band (the absolute gap compresses slightly because
+the Python front end produces less queue pressure than 64 OoO cores).
+"""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments.figures import fig09_tag_check
+
+
+def test_fig09_tag_check(benchmark, ctx):
+    result = run_and_render(benchmark, fig09_tag_check, ctx)
+    ratios = result.rows[-1]
+    # TDRAM fastest; NDC second (in-DRAM tags but no probing); the
+    # tags-in-data designs slowest.
+    assert ratios["tdram"] == 1.0
+    assert 1.1 < ratios["ndc"] < 2.2
+    assert ratios["ndc"] < ratios["bear"]
+    assert ratios["bear"] <= ratios["alloy"] * 1.1
+    assert ratios["cascade_lake"] > 1.5

@@ -1,0 +1,16 @@
+"""Figure 10: average read-buffer queueing delay across all designs.
+
+The paper: TDRAM's queueing delay is the shortest of all designs,
+thanks to early tag probing removing misses from the queue early.
+"""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments.figures import fig10_queueing
+
+
+def test_fig10_queueing(benchmark, ctx):
+    result = run_and_render(benchmark, fig10_queueing, ctx)
+    means = result.rows[-1]
+    designs = ("cascade_lake", "alloy", "bear", "ndc", "tdram")
+    assert means["tdram"] == min(means[d] for d in designs)
+    assert means["tdram"] < means["ndc"]

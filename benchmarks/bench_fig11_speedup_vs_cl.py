@@ -1,0 +1,20 @@
+"""Figure 11: speedup normalised to Cascade Lake.
+
+Paper geomeans: TDRAM 1.20x over CL, 1.23x over Alloy, 1.13x over BEAR,
+1.08x over NDC, with the Ideal cache as the upper bound TDRAM
+approaches. The reproduction checks the ordering; the magnitudes
+compress somewhat at the scaled geometry.
+"""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments.figures import fig11_speedup_vs_cl
+
+
+def test_fig11_speedup_vs_cl(benchmark, ctx):
+    result = run_and_render(benchmark, fig11_speedup_vs_cl, ctx)
+    means = result.rows[-1]
+    # TDRAM beats Cascade Lake and Alloy on geomean.
+    assert means["tdram"] > 1.0
+    assert means["tdram"] > means["alloy"]
+    # The Ideal (zero-latency tags) cache is the upper bound.
+    assert means["ideal"] >= means["tdram"] * 0.98

@@ -1,0 +1,27 @@
+"""Figure 12: speedup over a system with main memory only.
+
+The paper's headline: existing DRAM caches (CL -8 %, Alloy -10 %,
+BEAR -2 % geomean) can *slow down* large-footprint workloads, while
+NDC (+3 %) and TDRAM (+11 %) speed them up. At the scaled geometry the
+reproduction checks the relative ordering and that TDRAM ends up the
+best real design.
+"""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments.figures import fig12_speedup_vs_nocache
+from repro.workloads.base import MissClass
+
+
+def test_fig12_speedup_vs_nocache(benchmark, ctx):
+    result = run_and_render(benchmark, fig12_speedup_vs_nocache, ctx)
+    means = result.rows[-1]
+    designs = ("cascade_lake", "alloy", "bear", "ndc", "tdram")
+    # TDRAM is the best real design relative to the no-cache system.
+    assert means["tdram"] >= max(means[d] for d in designs) * 0.97
+    # On at least one high-miss workload a tags-in-data baseline fails
+    # to beat plain main memory (the paper's slowdown observation).
+    high = [s.name for s in ctx.specs if s.miss_class is MissClass.HIGH]
+    rows = {row["workload"]: row for row in result.rows[:-1]}
+    slowdowns = [w for w in high if rows[w]["cascade_lake"] < 1.05
+                 or rows[w]["alloy"] < 1.05]
+    assert slowdowns, "expected a high-miss slowdown for tags-in-data designs"

@@ -1,0 +1,19 @@
+"""Figure 13: relative DRAM-cache energy, normalised to Cascade Lake.
+
+Paper geomeans: TDRAM saves 21 % vs Cascade Lake and 12 % vs BEAR;
+Alloy costs more than Cascade Lake; NDC is comparable to TDRAM.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_render
+from repro.experiments.figures import fig13_energy
+
+
+def test_fig13_energy(benchmark, ctx):
+    result = run_and_render(benchmark, fig13_energy, ctx)
+    means = result.rows[-1]
+    assert means["tdram"] < 1.0          # saves energy vs Cascade Lake
+    assert means["tdram"] < means["bear"]
+    assert means["alloy"] > 1.0          # Alloy costs more than CL
+    assert means["ndc"] == pytest.approx(means["tdram"], rel=0.1)

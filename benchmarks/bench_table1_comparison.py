@@ -1,0 +1,12 @@
+"""Table I: the qualitative design-space comparison, as data."""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments.tables import table1_comparison
+
+
+def test_table1_comparison(benchmark):
+    result = run_and_render(benchmark, table1_comparison)
+    tdram = next(r for r in result.rows if r["design"] == "TDRAM")
+    assert tdram["cond_col_op"] == "yes"
+    assert tdram["tags_scale"] == "yes"
+    assert tdram["low_latency"] == "yes"

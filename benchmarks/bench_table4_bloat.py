@@ -1,0 +1,29 @@
+"""Table IV: bandwidth-bloat factor per miss group, vs the paper.
+
+Paper: CL 1.35/2.75, Alloy 1.68/3.43, BEAR 1.41/2.40, NDC = TDRAM
+1.13/2.06 (low/high). TDRAM's reductions: 16.3/25.1 % vs CL,
+32.7/39.9 % vs Alloy, 14.2/19.9 % vs BEAR, 0 % vs NDC.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_render
+from repro.experiments.figures import table4_bloat
+
+
+def test_table4_bloat(benchmark, ctx):
+    result = run_and_render(benchmark, table4_bloat, ctx)
+    rows = {row["design"]: row for row in result.rows}
+    # Orderings per group.
+    for group in ("low_miss", "high_miss"):
+        assert rows["alloy"][group] >= rows["cascade_lake"][group]
+        assert rows["cascade_lake"][group] >= rows["tdram"][group]
+        assert rows["tdram"][group] == pytest.approx(rows["ndc"][group],
+                                                     rel=0.1)
+    # Measured values land near the paper's (within ~25 % relative).
+    for design in ("cascade_lake", "alloy", "bear", "ndc", "tdram"):
+        assert rows[design]["high_miss"] == pytest.approx(
+            rows[design]["paper_high"], rel=0.3), design
+    # TDRAM-vs-NDC reduction is zero by construction.
+    assert rows["tdram_reduction_vs_ndc"]["high_miss"] == \
+        pytest.approx(0.0, abs=0.02)

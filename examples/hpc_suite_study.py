@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""HPC suite study: every design over the NPB-style workloads.
+
+The scenario from the paper's introduction: a Xeon-Max-class node runs
+large scientific kernels whose footprints dwarf the HBM cache. This
+script sweeps the NPB-style workloads (both classes) over every cache
+design and prints a Figure 11/12-style speedup table plus the miss
+grouping of Figure 1.
+
+Usage::
+
+    python examples/hpc_suite_study.py [--class C|D|both] [--demands N]
+
+Class C alone takes ~2 minutes; ``both`` roughly doubles that.
+"""
+
+import argparse
+
+from repro import SystemConfig, run_experiment
+from repro.experiments.figures import geomean
+from repro.workloads import npb_specs
+
+DESIGNS = ("cascade_lake", "alloy", "bear", "ndc", "tdram", "ideal")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--class", dest="variant", default="C",
+                        choices=["C", "D", "both"])
+    parser.add_argument("--demands", type=int, default=400)
+    args = parser.parse_args()
+
+    variants = ["C", "D"] if args.variant == "both" else [args.variant]
+    specs = [s for s in npb_specs() if s.variant in variants]
+    config = SystemConfig.small()
+
+    print(f"{'workload':10} {'miss':>6} " +
+          " ".join(f"{d[:10]:>12}" for d in DESIGNS) +
+          "   (speedup over the no-cache system)")
+    per_design = {d: [] for d in DESIGNS}
+    for spec in specs:
+        baseline = run_experiment("no_cache", spec, config,
+                                  demands_per_core=args.demands)
+        row = []
+        miss = None
+        for design in DESIGNS:
+            result = run_experiment(design, spec, config,
+                                    demands_per_core=args.demands)
+            speedup = result.speedup_over(baseline)
+            per_design[design].append(speedup)
+            row.append(speedup)
+            miss = result.miss_ratio
+        print(f"{spec.name:10} {miss:6.1%} " +
+              " ".join(f"{s:12.3f}" for s in row))
+    print(f"{'geomean':10} {'':>6} " +
+          " ".join(f"{geomean(per_design[d]):12.3f}" for d in DESIGNS))
+    print()
+    print("Paper (full scale, all 28 workloads): CL 0.92x, Alloy 0.90x, "
+          "BEAR 0.98x, NDC 1.03x, TDRAM 1.11x.")
+
+
+if __name__ == "__main__":
+    main()

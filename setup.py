@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` on this
+offline box; ``python setup.py develop`` (or this shim via pip's legacy
+path) installs the package identically. Configuration lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Alloy cache [58]: tag-and-data (TAD) units streamed in one burst.
+
+Alloy stores the tag alongside the line and streams both in a single
+80 B access (64 B data + 8 B tag + 8 B ignored), which the paper models
+as increased timing parameters (§IV-A). Behaviourally it follows the
+same read-to-check-tags flow as Cascade Lake, so it shares that
+implementation with a wider burst — which lengthens every DQ occupancy
+and raises bandwidth bloat (Fig. 3, Table IV).
+"""
+
+from __future__ import annotations
+
+from repro.cache.cascade_lake import CascadeLakeCache
+
+
+class AlloyCache(CascadeLakeCache):
+    """Alloy DRAM cache: direct-mapped TAD units, 80 B bursts."""
+
+    design_name = "alloy"
+    burst_bytes = 80

@@ -1,0 +1,100 @@
+"""Per-run metrics collected by every DRAM-cache design.
+
+One :class:`CacheMetrics` instance is owned by a controller; the
+experiment runner calls :meth:`reset` at the end of the warm-up window
+so reported statistics cover only the measured region (mirroring the
+paper's warmed-checkpoint methodology, §IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cache.request import Op, Outcome
+from repro.stats.bandwidth import BandwidthLedger
+from repro.stats.counters import CounterSet, LatencyStat, OccupancyStat
+
+#: Fig. 1 category labels, derived from (op, outcome).
+BREAKDOWN_CATEGORIES = (
+    "read_hit",
+    "write_hit",
+    "read_miss_clean",
+    "read_miss_dirty",
+    "write_miss_clean",
+    "write_miss_dirty",
+)
+
+
+def breakdown_category(op: Op, outcome: Outcome) -> str:
+    """Map an access to its Fig. 1 hit/miss category.
+
+    Misses to invalid frames are grouped with clean misses (no victim
+    data is at stake either way).
+    """
+    kind = "read" if op is Op.READ else "write"
+    if outcome.is_hit:
+        return f"{kind}_hit"
+    if outcome is Outcome.MISS_DIRTY:
+        return f"{kind}_miss_dirty"
+    return f"{kind}_miss_clean"
+
+
+class CacheMetrics:
+    """All measured quantities for one (design, workload) run."""
+
+    def __init__(self) -> None:
+        self.outcomes = CounterSet()
+        self.events = CounterSet()
+        self.ledger = BandwidthLedger()
+        self.tag_check = LatencyStat("tag_check")
+        self.read_queue_delay = LatencyStat("read_queue_delay")
+        self.read_latency = LatencyStat("read_latency")
+        self.flush_occupancy = OccupancyStat("flush_buffer")
+
+    # ------------------------------------------------------------------
+    def record_outcome(self, op: Op, outcome: Outcome) -> None:
+        self.outcomes.add(breakdown_category(op, outcome))
+        self.outcomes.add("demands")
+        if op is Op.READ:
+            self.outcomes.add("reads")
+        else:
+            self.outcomes.add("writes")
+        if outcome.is_hit:
+            self.outcomes.add("hits")
+        else:
+            self.outcomes.add("misses")
+
+    # ------------------------------------------------------------------
+    @property
+    def demands(self) -> int:
+        return self.outcomes["demands"]
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.demands == 0:
+            return 0.0
+        return self.outcomes["misses"] / self.demands
+
+    @property
+    def read_miss_ratio(self) -> float:
+        reads = self.outcomes["reads"]
+        if reads == 0:
+            return 0.0
+        read_misses = self.outcomes["read_miss_clean"] + self.outcomes["read_miss_dirty"]
+        return read_misses / reads
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fig. 1: fraction of demands in each hit/miss category."""
+        total = max(1, self.demands)
+        return {
+            name: self.outcomes[name] / total for name in BREAKDOWN_CATEGORIES
+        }
+
+    def reset(self) -> None:
+        self.outcomes.reset()
+        self.events.reset()
+        self.ledger.reset()
+        self.tag_check.reset()
+        self.read_queue_delay.reset()
+        self.read_latency.reset()
+        self.flush_occupancy.reset()

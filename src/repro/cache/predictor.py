@@ -1,0 +1,63 @@
+"""MAP-I hit/miss predictor (Qureshi & Loh [58], evaluated in §V-D).
+
+A Memory Access Predictor indexed by the *instruction* address of the
+demand: a table of saturating counters keyed by a hash of the PC. On a
+predicted miss, the controller launches the main-memory fetch
+speculatively, in parallel with the tag-check read; a wrong prediction
+wastes a main-memory access (the bandwidth-bloat hazard the paper
+highlights when arguing for TDRAM's deterministic probing).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.stats.counters import CounterSet
+
+
+class MapIPredictor:
+    """PC-indexed table of 2-bit saturating hit/miss counters."""
+
+    def __init__(self, table_size: int = 1024, counter_bits: int = 2) -> None:
+        if table_size <= 0 or table_size & (table_size - 1):
+            raise ConfigError("table_size must be a positive power of two")
+        if counter_bits < 1:
+            raise ConfigError("counter_bits must be >= 1")
+        self.table_size = table_size
+        self.max_value = (1 << counter_bits) - 1
+        #: counters start weakly predicting hit (mid-scale)
+        self._table = [self.max_value // 2 + 1] * table_size
+        self.stats = CounterSet()
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ (pc >> 13)) % self.table_size
+
+    def predict_hit(self, pc: int) -> bool:
+        """True if the access is predicted to hit the DRAM cache."""
+        predicted = self._table[self._index(pc)] > self.max_value // 2
+        self.stats.add("predictions")
+        return predicted
+
+    def predict_miss(self, pc: int) -> bool:
+        return not self.predict_hit(pc)
+
+    def update(self, pc: int, was_hit: bool) -> None:
+        """Train the counter with the architectural outcome."""
+        index = self._index(pc)
+        value = self._table[index]
+        if was_hit:
+            self._table[index] = min(self.max_value, value + 1)
+        else:
+            self._table[index] = max(0, value - 1)
+        self.stats.add("updates")
+        predicted_hit = value > self.max_value // 2
+        if predicted_hit == was_hit:
+            self.stats.add("correct")
+        else:
+            self.stats.add("wrong")
+
+    @property
+    def accuracy(self) -> float:
+        updates = self.stats["updates"]
+        if updates == 0:
+            return 0.0
+        return self.stats["correct"] / updates

@@ -1,0 +1,74 @@
+"""Demand request and access-outcome types shared by all cache designs."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class Op(enum.Enum):
+    """Demand type as seen by the DRAM cache (post-LLC)."""
+
+    READ = "read"      #: LLC fetch (on-chip miss) — latency critical
+    WRITE = "write"    #: LLC writeback of a full 64 B line — posted
+
+
+class Outcome(enum.Enum):
+    """Architectural outcome of a cache access (Table II rows)."""
+
+    HIT_CLEAN = "hit_clean"
+    HIT_DIRTY = "hit_dirty"
+    MISS_INVALID = "miss_invalid"   #: frame empty
+    MISS_CLEAN = "miss_clean"       #: conflicting clean line present
+    MISS_DIRTY = "miss_dirty"       #: conflicting dirty line present
+
+    @property
+    def is_hit(self) -> bool:
+        return self in (Outcome.HIT_CLEAN, Outcome.HIT_DIRTY)
+
+    @property
+    def is_dirty_miss(self) -> bool:
+        return self is Outcome.MISS_DIRTY
+
+
+_sequence = itertools.count()
+
+
+@dataclass
+class DemandRequest:
+    """One 64 B demand travelling through the memory system."""
+
+    op: Op
+    block_addr: int
+    core_id: int = 0
+    #: synthetic instruction address (region id) for MAP-I prediction
+    pc: int = 0
+    seq: int = field(default_factory=lambda: next(_sequence))
+    #: set by the controller when the demand enters its queues
+    arrive_time: int = -1
+    #: completion callback (front end wiring); receives finish time
+    on_complete: Optional[Callable[[int], None]] = None
+    #: design bookkeeping
+    tag_result_time: int = -1      #: when hit/miss became known at controller
+    issue_time: int = -1           #: first DRAM-cache action for this demand
+    probed: bool = False           #: TDRAM early-probe already answered it
+    outcome: Optional[Outcome] = None
+    victim_block: Optional[int] = None
+    completed: bool = False
+
+    @property
+    def is_read(self) -> bool:
+        return self.op is Op.READ
+
+    def complete(self, time: int) -> None:
+        """Deliver the response to the front end (idempotent)."""
+        if self.completed:
+            return
+        self.completed = True
+        if self.on_complete is not None:
+            self.on_complete(time)
+
+    def __repr__(self) -> str:
+        return f"DemandRequest({self.op.value}, blk={self.block_addr:#x}, seq={self.seq})"

@@ -1,0 +1,147 @@
+"""Architectural (functional) tag store for the DRAM cache.
+
+The tag store holds the *truth* about cache contents; design
+controllers consult it to learn the outcome an access will have, then
+model the timing/energy their hardware spends discovering that outcome.
+
+Direct-mapped is the paper's primary configuration; ``ways > 1`` gives
+the set-associative variant of §V-F with LRU replacement inside a set.
+Only frames that have ever been touched are materialised (a dict), so a
+64 GiB cache costs memory proportional to the trace, not the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.request import Outcome
+from repro.errors import ConfigError
+
+
+@dataclass
+class _Line:
+    block: int
+    dirty: bool
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of probing the tag store, plus the would-be victim."""
+
+    outcome: Outcome
+    victim_block: Optional[int] = None   #: conflicting resident block (on miss)
+    victim_dirty: bool = False
+
+
+class TagStore:
+    """Set-associative tag/metadata array with LRU replacement."""
+
+    def __init__(self, num_frames: int, ways: int = 1) -> None:
+        if num_frames <= 0:
+            raise ConfigError("num_frames must be positive")
+        if ways <= 0 or num_frames % ways:
+            raise ConfigError(f"ways={ways} must divide num_frames={num_frames}")
+        self.num_frames = num_frames
+        self.ways = ways
+        self.num_sets = num_frames // ways
+        #: set index -> LRU-ordered lines (index 0 = LRU, last = MRU)
+        self._sets: Dict[int, List[_Line]] = {}
+
+    def set_index(self, block: int) -> int:
+        return block % self.num_sets
+
+    def _find(self, block: int) -> Tuple[List[_Line], Optional[_Line]]:
+        lines = self._sets.setdefault(self.set_index(block), [])
+        for line in lines:
+            if line.block == block:
+                return lines, line
+        return lines, None
+
+    # ------------------------------------------------------------------
+    # Probes (no state change beyond LRU touch on hit)
+    # ------------------------------------------------------------------
+    def probe(self, block: int, touch: bool = True) -> LookupResult:
+        """Look up ``block``; on a hit optionally refresh its LRU slot."""
+        lines, line = self._find(block)
+        if line is not None:
+            if touch:
+                lines.remove(line)
+                lines.append(line)
+            outcome = Outcome.HIT_DIRTY if line.dirty else Outcome.HIT_CLEAN
+            return LookupResult(outcome)
+        if len(lines) < self.ways:
+            return LookupResult(Outcome.MISS_INVALID)
+        victim = lines[0]
+        outcome = Outcome.MISS_DIRTY if victim.dirty else Outcome.MISS_CLEAN
+        return LookupResult(outcome, victim_block=victim.block, victim_dirty=victim.dirty)
+
+    def contains(self, block: int) -> bool:
+        return self._find(block)[1] is not None
+
+    def is_dirty(self, block: int) -> bool:
+        line = self._find(block)[1]
+        return bool(line and line.dirty)
+
+    # ------------------------------------------------------------------
+    # State changes
+    # ------------------------------------------------------------------
+    def install(self, block: int, dirty: bool) -> Optional[Tuple[int, bool]]:
+        """Insert (or update) ``block``; returns the evicted (block, dirty).
+
+        A resident block is updated in place (writes re-dirty it); an
+        absent block evicts the LRU way if the set is full.
+        """
+        lines, line = self._find(block)
+        if line is not None:
+            line.dirty = line.dirty or dirty
+            lines.remove(line)
+            lines.append(line)
+            return None
+        evicted: Optional[Tuple[int, bool]] = None
+        if len(lines) >= self.ways:
+            victim = lines.pop(0)
+            evicted = (victim.block, victim.dirty)
+        lines.append(_Line(block=block, dirty=dirty))
+        return evicted
+
+    def fill(self, block: int) -> Optional[Tuple[int, bool]]:
+        """Install a clean copy fetched from main memory.
+
+        If the block arrived in the meantime (e.g. a write allocated it
+        while the fetch was in flight), the fill is dropped so a stale
+        clean copy never overwrites newer dirty data.
+        """
+        if self.contains(block):
+            return None
+        return self.install(block, dirty=False)
+
+    def bulk_install(self, blocks, dirty_flags) -> None:
+        """Fast-path warm-up: install many lines without LRU churn.
+
+        Used to emulate the paper's warmed checkpoints (§IV-B): the
+        steady-state resident set is installed functionally before the
+        timed simulation starts. Later installs to a full set evict in
+        arrival order.
+        """
+        for block, dirty in zip(blocks, dirty_flags):
+            lines = self._sets.setdefault(block % self.num_sets, [])
+            for line in lines:
+                if line.block == block:
+                    line.dirty = line.dirty or bool(dirty)
+                    break
+            else:
+                if len(lines) >= self.ways:
+                    lines.pop(0)
+                lines.append(_Line(block=int(block), dirty=bool(dirty)))
+
+    def invalidate(self, block: int) -> bool:
+        """Drop ``block`` if resident; returns whether it was present."""
+        lines, line = self._find(block)
+        if line is None:
+            return False
+        lines.remove(line)
+        return True
+
+    def resident_blocks(self) -> int:
+        return sum(len(lines) for lines in self._sets.values())

@@ -1,0 +1,5 @@
+"""System configuration (Table III)."""
+
+from repro.config.system import GIB, MIB, PAPER_CACHE_BYTES, SystemConfig
+
+__all__ = ["GIB", "MIB", "PAPER_CACHE_BYTES", "SystemConfig"]

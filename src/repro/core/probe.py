@@ -1,0 +1,76 @@
+"""Early tag probing policy (§III-E).
+
+A probe is a tag-only access issued into *otherwise unused* CA and HM
+bus slots while the data-side resources are busy. The selection policy
+(§III-E2) picks, among queued reads whose tag bank is currently free,
+the **youngest** request — minimising average queue occupancy, because
+older requests will reach their MAIN slot soon anyway.
+
+Probing is focused on reads; writes resolve their outcome with their
+own ActWr, and probing them would add tag-bank conflicts for no miss-
+latency benefit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.controller import CacheOp, OpKind
+from repro.dram.device import DramChannel
+from repro.stats.counters import CounterSet
+
+
+class ProbeEngine:
+    """Chooses and accounts early tag probes for one controller."""
+
+    def __init__(self) -> None:
+        self.stats = CounterSet()
+
+    def select(self, channel: DramChannel, read_q: List[CacheOp],
+               now: int) -> Optional[CacheOp]:
+        """Pick the youngest probe-eligible queued read, if any.
+
+        Eligible: a READ demand not yet probed whose tag bank, the CA
+        bus, and the HM result slot are all free right now — so the
+        probe never steals a MAIN command slot — and which is not about
+        to issue anyway: either its data bank is busy, or older requests
+        sit ahead of it in the queue. Probing the imminent-issue head
+        would only create tag-bank conflicts with its own MAIN command
+        (the paper measures such conflicts below 1 %, §III-E2).
+        """
+        if channel.tag_timing is None:
+            return None
+        hold = channel.tag_timing.tRC_TAG
+        oldest_for_bank = {}
+        for op in read_q:  # queue order = age order
+            if op.bank not in oldest_for_bank:
+                oldest_for_bank[op.bank] = op
+        for op in reversed(read_q):  # youngest first
+            demand = op.demand
+            if demand is None or not demand.is_read or demand.probed:
+                continue
+            bank_frees_soon = channel.banks[op.bank].ready_at < now + hold
+            if bank_frees_soon and oldest_for_bank.get(op.bank) is op:
+                # This demand is next in line for a bank that frees
+                # inside the probe's tag-bank hold: probing it would
+                # collide with its own MAIN command.
+                continue
+            if channel.can_probe(op.bank, now):
+                return op
+            self.stats.add("blocked_slots")
+        return None
+
+    def record_issue(self) -> None:
+        self.stats.add("probes")
+
+    def record_bank_conflict(self) -> None:
+        """A MAIN command wanted the tag bank a probe was using."""
+        self.stats.add("bank_conflicts")
+
+    @property
+    def probes(self) -> int:
+        return self.stats["probes"]
+
+    @property
+    def bank_conflicts(self) -> int:
+        return self.stats["bank_conflicts"]

@@ -1,0 +1,83 @@
+"""Tag-mat microarchitecture model (§III-C2, §III-C4).
+
+TDRAM stores 3 B of tag+metadata+ECC per 64 B line in small mats at
+the edge of each (even) bank. The mats are scaled by 1/2 in each
+dimension relative to data mats, shortening wordlines and bitlines;
+with four tag mats per data mat, the tag array cycles in
+``tRC_TAG = 12 ns`` against the data banks' 42 ns and produces its
+result before the data banks finish sensing.
+
+This module derives the mat counts and storage arithmetic from a
+geometry, and checks the latency-hiding inequalities the paper states:
+
+* ``tRCD_TAG + tHM_int <= tRCD``  — the internal result reaches the
+  column decoders before a column command could legally execute;
+* ``tRL_core <= t_intRD + tWR_data_delay + tBURST/2`` — a dirty line
+  can be pulled into the flush buffer before the new write data lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.address import DramGeometry
+from repro.dram.timing import DramTiming, TagTiming
+
+TAG_BYTES_PER_LINE = 3
+LINE_BYTES = 64
+TAG_MATS_PER_DATA_MAT = 4
+MAT_SCALE_PER_DIMENSION = 0.5
+
+
+@dataclass(frozen=True)
+class TagMatLayout:
+    """Derived tag-storage organisation for one device."""
+
+    data_blocks: int
+    tag_bytes: int
+    tag_banks: int            #: tag mats sit only in even bank groups
+    rows_per_tag_bank: int    #: logical rows match the data banks
+    tag_mats_per_bank: int
+    storage_overhead: float   #: tag bytes / data bytes
+
+
+def layout_for(geometry: DramGeometry, data_mats_per_bank: int = 16) -> TagMatLayout:
+    """Compute the tag-mat layout for a device geometry."""
+    data_blocks = geometry.total_blocks
+    tag_bytes = data_blocks * TAG_BYTES_PER_LINE
+    tag_banks = (geometry.channels * geometry.banks_per_channel) // 2
+    return TagMatLayout(
+        data_blocks=data_blocks,
+        tag_bytes=tag_bytes,
+        tag_banks=max(1, tag_banks),
+        rows_per_tag_bank=geometry.rows_per_bank,
+        tag_mats_per_bank=data_mats_per_bank * TAG_MATS_PER_DATA_MAT,
+        storage_overhead=TAG_BYTES_PER_LINE / LINE_BYTES,
+    )
+
+
+def internal_result_hidden(timing: DramTiming, tag: TagTiming) -> bool:
+    """§III-C4: tag access + internal compare hide under ``tRCD``."""
+    return tag.tRCD_TAG + tag.tHM_int <= timing.tRCD
+
+
+def flush_move_safe(timing: DramTiming, tag: TagTiming,
+                    t_int_rd: int = 4000, wr_data_delay: int = 4000) -> bool:
+    """§III-C4: the internal dirty-line read beats the incoming write.
+
+    ``tRL_core`` must not exceed ``t_intRD + tWR_data_delay + tBURST/2``
+    (= 9 ns with the paper's defaults against ``tRL_core = 2 ns``).
+    """
+    bound = t_int_rd + wr_data_delay + timing.tBURST // 2
+    return timing.tRL_core <= bound
+
+
+def tag_check_speed_ratio(timing: DramTiming, tag: TagTiming) -> float:
+    """Raw device-level tag-result speedup vs a tags-in-data read.
+
+    A tags-in-data design learns the outcome at ``tRCD + tCL + tBURST``;
+    TDRAM at ``tRCD_TAG + tHM``. (System-level Fig. 9 ratios are larger
+    because queue occupancy multiplies the device advantage.)
+    """
+    baseline = timing.tRCD + timing.tCL + timing.tBURST
+    return baseline / tag.hm_result_delay

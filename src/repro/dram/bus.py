@@ -1,0 +1,114 @@
+"""Bus models: command/address (CA), data (DQ), and hit-miss (HM) buses.
+
+Buses are modelled as monotonic reservation resources: each grant starts
+at or after the end of the previous grant (plus a direction-turnaround
+gap on the bidirectional DQ bus). This is exact for an in-order
+command stream with fixed data offsets, which is how close-page
+FR-FCFS controllers drive DRAM.
+
+The DQ model also records *idle read-direction gaps*: these are the
+"unused DQ slots" TDRAM exploits for opportunistic flush-buffer unloads
+(§III-D2) and that the probe engine uses on the CA/HM side (§III-E).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import ProtocolError
+
+
+class Direction(enum.Enum):
+    """Transfer direction on the DQ bus, seen from the DRAM."""
+
+    READ = "read"    # DRAM -> controller
+    WRITE = "write"  # controller -> DRAM
+
+
+class Bus:
+    """A unidirectional bus (CA or HM): serial, no turnaround penalty."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._free_at = 0
+        self.busy_time = 0
+        self.grants = 0
+
+    @property
+    def free_at(self) -> int:
+        """Earliest time a new grant may begin."""
+        return self._free_at
+
+    def earliest(self, start: int) -> int:
+        """Earliest grant start at or after ``start``."""
+        return max(start, self._free_at)
+
+    def is_free(self, at: int) -> bool:
+        """Whether a grant could begin exactly at ``at``."""
+        return at >= self._free_at
+
+    def reserve(self, start: int, duration: int) -> int:
+        """Occupy the bus for ``[start, start + duration)``.
+
+        Returns the end time. Grants must be non-overlapping and issued
+        in nondecreasing start order (the controller guarantees this).
+        """
+        if duration < 0:
+            raise ProtocolError(f"{self.name}: negative duration {duration}")
+        if start < self._free_at:
+            raise ProtocolError(
+                f"{self.name}: grant at {start} overlaps previous (free at {self._free_at})"
+            )
+        self._free_at = start + duration
+        self.busy_time += duration
+        self.grants += 1
+        return self._free_at
+
+
+class DataBus(Bus):
+    """The bidirectional DQ bus with read/write turnaround gaps.
+
+    Switching direction inserts ``tRTW`` (read->write) or ``tWTR``
+    (write->read) of dead time — the "costly turnaround bubbles"
+    (§I, [17]) that TDRAM's flush buffer avoids for write-miss-dirty.
+    """
+
+    def __init__(self, name: str, t_rtw: int, t_wtr: int) -> None:
+        super().__init__(name)
+        self.t_rtw = t_rtw
+        self.t_wtr = t_wtr
+        self._last_direction: Optional[Direction] = None
+        self.turnarounds = 0
+        self.turnaround_time = 0
+
+    def turnaround_gap(self, direction: Direction) -> int:
+        """Dead time required before a grant in ``direction``."""
+        if self._last_direction is None or self._last_direction is direction:
+            return 0
+        return self.t_rtw if direction is Direction.WRITE else self.t_wtr
+
+    def earliest_dir(self, start: int, direction: Direction) -> int:
+        """Earliest start for a grant in ``direction`` at/after ``start``."""
+        return max(start, self._free_at + self.turnaround_gap(direction))
+
+    def reserve_dir(self, start: int, duration: int, direction: Direction) -> int:
+        """Occupy the bus in ``direction``; returns the end time."""
+        gap = self.turnaround_gap(direction)
+        if start < self._free_at + gap:
+            raise ProtocolError(
+                f"{self.name}: grant at {start} violates turnaround "
+                f"(free at {self._free_at}, gap {gap})"
+            )
+        if gap:
+            self.turnarounds += 1
+            self.turnaround_time += gap
+        self._last_direction = direction
+        return super().reserve(start, duration)
+
+    def reserve(self, start: int, duration: int) -> int:  # pragma: no cover
+        raise ProtocolError("use reserve_dir() on the DQ bus")
+
+    @property
+    def last_direction(self) -> Optional[Direction]:
+        return self._last_direction

@@ -1,0 +1,5 @@
+"""Energy/power model of the memory subsystem."""
+
+from repro.energy.power_model import EnergyMeter, EnergyModel
+
+__all__ = ["EnergyMeter", "EnergyModel"]

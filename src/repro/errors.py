@@ -1,0 +1,29 @@
+"""Exception hierarchy for the TDRAM reproduction library.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch one type at the API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an illegal state (e.g. time went backwards)."""
+
+
+class ProtocolError(ReproError):
+    """A DRAM protocol rule was violated (e.g. overlapping bus grants)."""
+
+
+class CapacityError(ReproError):
+    """A bounded hardware structure (queue, buffer) was overfilled."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was misconfigured or produced an invalid record."""

@@ -1,0 +1,13 @@
+"""Experiment harness: runner, figures, studies, sweeps, CLI."""
+
+from repro.experiments.runner import RunResult, run_experiment, run_matrix
+from repro.experiments.sweeps import channel_sweep, config_sweep, mlp_sweep
+
+__all__ = [
+    "RunResult",
+    "run_experiment",
+    "run_matrix",
+    "channel_sweep",
+    "config_sweep",
+    "mlp_sweep",
+]

@@ -1,0 +1,169 @@
+"""Command-line interface: regenerate any table/figure from a terminal.
+
+Installed as ``tdram-repro``::
+
+    tdram-repro list
+    tdram-repro fig9                 # representative workload subset
+    tdram-repro fig11 --full-suite   # all 28 workloads (slow)
+    tdram-repro run tdram ft.D       # one simulation, all metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.config.system import SystemConfig
+from repro.experiments.figures import (
+    ExperimentContext,
+    fig01_hit_miss_breakdown,
+    fig02_queueing_baselines,
+    fig03_wasted_movement,
+    fig04_overheads,
+    fig09_tag_check,
+    fig10_queueing,
+    fig11_speedup_vs_cl,
+    fig12_speedup_vs_nocache,
+    fig13_energy,
+    table4_bloat,
+)
+from repro.experiments.runner import run_experiment
+from repro.experiments.studies import (
+    flush_buffer_sensitivity,
+    predictor_study,
+    prefetcher_study,
+    probing_ablation,
+    set_associativity_study,
+    way_select_study,
+)
+from repro.experiments.tables import table1_comparison
+from repro.workloads.suite import demand_stream, full_suite, workload
+from repro.workloads.trace import capture_trace, trace_stats
+
+
+def _tdram_ablation_lazy(**kwargs):
+    from repro.experiments.ablations import tdram_ablation
+
+    return tdram_ablation(**kwargs)
+
+_CONTEXT_FIGURES: Dict[str, Callable] = {
+    "fig1": fig01_hit_miss_breakdown,
+    "fig2": fig02_queueing_baselines,
+    "fig3": fig03_wasted_movement,
+    "fig9": fig09_tag_check,
+    "fig10": fig10_queueing,
+    "fig11": fig11_speedup_vs_cl,
+    "fig12": fig12_speedup_vs_nocache,
+    "fig13": fig13_energy,
+    "table4": table4_bloat,
+}
+
+_STANDALONE: Dict[str, Callable] = {
+    "fig4": fig04_overheads,
+    "table1": table1_comparison,
+    "predictor": predictor_study,
+    "prefetcher": prefetcher_study,
+    "flush": flush_buffer_sensitivity,
+    "setassoc": set_associativity_study,
+    "ways": way_select_study,
+    "ablation": probing_ablation,
+    "tdram-ablation": _tdram_ablation_lazy,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tdram-repro",
+        description="Regenerate the TDRAM paper's tables and figures.",
+    )
+    parser.add_argument("target", help="figure/table name, 'list', or 'run'")
+    parser.add_argument("args", nargs="*", help="for 'run': DESIGN WORKLOAD")
+    parser.add_argument("--full-suite", action="store_true",
+                        help="use all 28 workloads instead of the fast subset")
+    parser.add_argument("--demands", type=int, default=600,
+                        help="work quantum per core (default 600)")
+    parser.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    target = args.target.lower()
+    if target == "list":
+        names = sorted(list(_CONTEXT_FIGURES) + list(_STANDALONE)
+                       + ["run", "report", "selfcheck", "suite",
+                          "trace-capture", "trace-stats"])
+        print("available targets:", ", ".join(names))
+        return 0
+    if target == "selfcheck":
+        from repro.validation import render_selfcheck, run_selfcheck
+
+        results = run_selfcheck()
+        print(render_selfcheck(results))
+        return 0 if all(r.passed for r in results) else 1
+    if target == "suite":
+        from repro.workloads.suite import suite_summary
+
+        print(suite_summary().render())
+        return 0
+    if target == "report":
+        if len(args.args) != 1:
+            print("usage: tdram-repro report OUTPUT.md", file=sys.stderr)
+            return 2
+        from repro.experiments.report_gen import generate_report
+
+        specs = full_suite() if args.full_suite else None
+        ctx = ExperimentContext(specs=specs, demands_per_core=args.demands,
+                                seed=args.seed)
+        titles = generate_report(args.args[0], ctx)
+        print(f"wrote {len(titles)} sections to {args.args[0]}")
+        return 0
+    if target == "trace-capture":
+        if len(args.args) != 3:
+            print("usage: tdram-repro trace-capture WORKLOAD PATH COUNT",
+                  file=sys.stderr)
+            return 2
+        name, path, count = args.args
+        stream = demand_stream(workload(name), SystemConfig.small(), 0, 8,
+                               seed=args.seed)
+        written = capture_trace(path, stream, int(count),
+                                header=f"workload: {name}  seed: {args.seed}")
+        print(f"wrote {written} records to {path}")
+        return 0
+    if target == "trace-stats":
+        if len(args.args) != 1:
+            print("usage: tdram-repro trace-stats PATH", file=sys.stderr)
+            return 2
+        stats = trace_stats(args.args[0])
+        print(f"records: {stats.records}  reads: {stats.reads}  "
+              f"writes: {stats.writes}")
+        print(f"footprint: {stats.footprint_bytes / 2**20:.1f} MiB  "
+              f"mean gap: {stats.mean_gap_ns:.1f} ns")
+        return 0
+    if target == "run":
+        if len(args.args) != 2:
+            print("usage: tdram-repro run DESIGN WORKLOAD", file=sys.stderr)
+            return 2
+        design, workload_name = args.args
+        result = run_experiment(design, workload_name,
+                                config=SystemConfig.small(),
+                                demands_per_core=args.demands, seed=args.seed)
+        for key, value in sorted(vars(result).items()):
+            print(f"{key}: {value}")
+        return 0
+    if target in _STANDALONE:
+        print(_STANDALONE[target]().render())
+        return 0
+    if target in _CONTEXT_FIGURES:
+        specs = full_suite() if args.full_suite else None
+        ctx = ExperimentContext(specs=specs, demands_per_core=args.demands,
+                                seed=args.seed)
+        print(_CONTEXT_FIGURES[target](ctx).render())
+        return 0
+    print(f"unknown target {target!r}; try 'tdram-repro list'", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,327 @@
+"""Experiment runner: one (design, workload) simulation -> RunResult.
+
+Mirrors the paper's methodology (§IV): every design sees the identical
+demand stream (same seed), statistics cover only the post-warm-up
+region, and runtime is the completion time of a fixed work quantum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.cache import DESIGNS
+from repro.cache.no_cache import NoCacheSystem
+from repro.config.system import SystemConfig
+from repro.energy.power_model import EnergyMeter
+from repro.errors import ConfigError, SimulationError
+from repro.frontend.core_model import build_cores
+from repro.memory.main_memory import MainMemory
+from repro.sim.kernel import Simulator, ns, to_ns
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.suite import demand_stream, workload as lookup_workload
+
+#: Simulated time per watchdog check.
+_CHUNK_PS = ns(200_000)
+#: Abort after this many chunks without any new submission.
+_STALL_CHUNKS = 50
+
+
+@dataclass
+class RunResult:
+    """Measured quantities of one simulation run."""
+
+    design: str
+    workload: str
+    demands: int
+    runtime_ps: int
+    # latencies (ns, post-warm-up means)
+    tag_check_ns: float
+    queue_delay_ns: float
+    read_latency_ns: float
+    mm_read_latency_ns: float
+    # architectural mix
+    miss_ratio: float
+    read_miss_ratio: float
+    breakdown: Dict[str, float]
+    # bandwidth
+    bloat_factor: float
+    unuseful_fraction: float
+    useful_bytes: int
+    total_bytes: int
+    # energy
+    energy_pj: float            #: whole memory subsystem (cache + DDR5)
+    cache_energy_pj: float = 0.0  #: DRAM-cache device + interface only
+    # design-specific extras
+    probes: int = 0
+    probe_bank_conflicts: int = 0
+    prefetches: int = 0
+    prefetch_useful: int = 0
+    flush_mean_occupancy: float = 0.0
+    flush_max_occupancy: int = 0
+    flush_stalls: int = 0
+    flush_unloads: Dict[str, int] = field(default_factory=dict)
+    writebacks: int = 0
+    events: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def runtime_ns(self) -> float:
+        return to_ns(self.runtime_ps)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Fixed-work speedup of this run relative to ``baseline``."""
+        if self.runtime_ps <= 0:
+            raise ConfigError("runtime must be positive for a speedup")
+        return baseline.runtime_ps / self.runtime_ps
+
+
+def run_experiment(
+    design: str,
+    spec: Union[WorkloadSpec, str],
+    config: Optional[SystemConfig] = None,
+    demands_per_core: int = 2000,
+    seed: int = 42,
+) -> RunResult:
+    """Simulate ``design`` under one workload and collect every metric.
+
+    Parameters
+    ----------
+    design:
+        One of ``repro.cache.DESIGNS`` ("cascade_lake", "alloy", "bear",
+        "ndc", "tdram", "ideal", "no_cache").
+    spec:
+        A :class:`WorkloadSpec` or a suite name like ``"ft.D"``.
+    demands_per_core:
+        The fixed work quantum each simulated core executes.
+    """
+    if isinstance(spec, str):
+        spec = lookup_workload(spec)
+    config = config or SystemConfig()
+    streams = [
+        demand_stream(spec, config, core_id, config.cores, seed)
+        for core_id in range(config.cores)
+    ]
+    return _run(design, spec, config, streams, demands_per_core, seed)
+
+
+def _run(
+    design: str,
+    spec: WorkloadSpec,
+    config: SystemConfig,
+    streams,
+    demands_per_core: int,
+    seed: int,
+    prewarm_blocks=None,
+) -> RunResult:
+    """Shared simulation core for generator- and trace-driven runs."""
+    if design not in DESIGNS:
+        raise ConfigError(f"unknown design {design!r}; choose from {sorted(DESIGNS)}")
+    sim = Simulator()
+    mm_meter = EnergyMeter(config.energy_model, config.mm_channels, False)
+    main_memory = MainMemory(sim, config.mm_timing, config.mm_geometry(),
+                             meter=mm_meter)
+    sink = DESIGNS[design](sim, config, main_memory)
+    _prewarm(sink, spec, config, seed, blocks=prewarm_blocks)
+
+    cores, progress = build_cores(
+        sim, sink, streams, demands_per_core,
+        config.max_outstanding_reads_per_core, config.warmup_fraction,
+    )
+
+    measure_start = 0
+
+    def on_warm() -> None:
+        nonlocal measure_start
+        measure_start = sim.now
+        sink.metrics.reset()
+        if sink.meter is not None:
+            sink.meter.reset()
+        mm_meter.reset()
+        for scheduler in main_memory._schedulers:
+            scheduler.read_queue_delay.reset()
+            scheduler.read_latency.reset()
+        flush = getattr(sink, "flush", None)
+        if flush is not None:
+            flush.occupancy.reset()
+            flush.events.reset()
+            flush.stalls = 0
+
+    progress.on_warm = on_warm
+    progress.on_all_done = sim.stop
+
+    for core in cores:
+        core.start()
+
+    last_submitted = -1
+    stall_chunks = 0
+    while not progress.all_done:
+        dispatched = sim.run(until=sim.now + _CHUNK_PS)
+        if progress.all_done:
+            break
+        if dispatched == 0 and sim.pending() == 0:
+            raise SimulationError(
+                f"{design}/{spec.name}: simulation drained with cores unfinished"
+            )
+        if progress.submitted == last_submitted:
+            stall_chunks += 1
+            if stall_chunks >= _STALL_CHUNKS:
+                raise SimulationError(
+                    f"{design}/{spec.name}: no forward progress "
+                    f"({progress.submitted}/{progress.total_demands} submitted)"
+                )
+        else:
+            stall_chunks = 0
+            last_submitted = progress.submitted
+
+    runtime = max(1, sim.now - measure_start)
+    metrics = sink.metrics
+    energy = mm_meter.total_pj(runtime)
+    cache_energy = 0.0
+    if sink.meter is not None:
+        cache_energy = sink.meter.total_pj(runtime)
+        energy += cache_energy
+
+    result = RunResult(
+        design=design,
+        workload=spec.name,
+        demands=metrics.demands,
+        runtime_ps=runtime,
+        tag_check_ns=metrics.tag_check.mean_ns,
+        queue_delay_ns=_queue_delay_ns(design, sink, main_memory),
+        read_latency_ns=metrics.read_latency.mean_ns,
+        mm_read_latency_ns=main_memory.mean_read_latency_ns,
+        miss_ratio=metrics.miss_ratio,
+        read_miss_ratio=metrics.read_miss_ratio,
+        breakdown=metrics.breakdown(),
+        bloat_factor=metrics.ledger.bloat_factor,
+        unuseful_fraction=metrics.ledger.unuseful_fraction,
+        useful_bytes=metrics.ledger.useful_bytes,
+        total_bytes=metrics.ledger.total_bytes,
+        energy_pj=energy,
+        cache_energy_pj=cache_energy,
+        writebacks=getattr(sink, "writebacks", 0),
+        events=metrics.events.as_dict(),
+    )
+    probe_engine = getattr(sink, "probe_engine", None)
+    if probe_engine is not None:
+        result.probes = probe_engine.probes
+        result.probe_bank_conflicts = probe_engine.bank_conflicts
+    prefetcher = getattr(sink, "prefetcher", None)
+    if prefetcher is not None:
+        result.prefetches = prefetcher.issued
+        result.prefetch_useful = prefetcher.stats["useful"]
+    flush = getattr(sink, "flush", None)
+    if flush is not None:
+        result.flush_mean_occupancy = flush.occupancy.mean_level
+        result.flush_max_occupancy = flush.occupancy.max_level
+        result.flush_stalls = flush.stalls
+        result.flush_unloads = {
+            name: flush.events[name]
+            for name in flush.events.names()
+            if name.startswith("unload_")
+        }
+    return result
+
+
+def _prewarm(sink, spec: WorkloadSpec, config: SystemConfig, seed: int,
+             blocks=None) -> None:
+    """Install the steady-state resident set (warmed checkpoint, §IV-B).
+
+    Workload generators place their reused ("hot") data at the low end
+    of the footprint, so installing the first ``min(footprint, frames)``
+    blocks reproduces the steady state: fitting workloads become fully
+    resident, over-sized ones leave the cold tail to conflict as usual.
+    Trace replays pass their own ``blocks`` (the trace's resident set).
+    Lines are dirtied with the workload's write probability.
+    """
+    tags = getattr(sink, "tags", None)
+    if tags is None:
+        return
+    if blocks is None:
+        footprint = spec.footprint_blocks(config)
+        blocks = range(min(footprint, tags.num_frames))
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    # Steady-state dirtiness is well below the write fraction: fills are
+    # clean and rewrites re-dirty the same hot lines, so misses landing
+    # on dirty victims stay rare (§II-B: "write demands that miss to a
+    # dirty line are very rare").
+    dirty = rng.random(len(blocks)) < 0.3 * (1.0 - spec.read_fraction)
+    tags.bulk_install(blocks, dirty)
+
+
+def _queue_delay_ns(design: str, sink, main_memory: MainMemory) -> float:
+    """Read-buffer queueing delay; the no-cache system reports the
+    main-memory read queue instead (Fig. 2's rightmost bars)."""
+    if isinstance(sink, NoCacheSystem):
+        stats = [s.read_queue_delay for s in main_memory._schedulers]
+        count = sum(s.count for s in stats)
+        total = sum(s.total_ps for s in stats)
+        return total / count / 1000.0 if count else 0.0
+    return sink.metrics.read_queue_delay.mean_ns
+
+
+def run_trace_experiment(
+    design: str,
+    trace_path,
+    config: Optional[SystemConfig] = None,
+    demands_per_core: int = 2000,
+    seed: int = 42,
+    name: Optional[str] = None,
+) -> RunResult:
+    """Replay a recorded demand trace through one design.
+
+    The trace (see :mod:`repro.workloads.trace`) is split round-robin
+    across the configured cores; the cache is pre-warmed from the
+    trace's own footprint. All RunResult metrics apply as usual.
+    """
+    from repro.workloads.base import MissClass, WorkloadSpec
+    from repro.workloads.trace import trace_stats, trace_streams
+
+    config = config or SystemConfig()
+    stats = trace_stats(trace_path)
+    # A surrogate spec: footprint expressed so that the scaled footprint
+    # equals the trace's actual footprint under this configuration.
+    scale = config.scale
+    surrogate = WorkloadSpec(
+        name=name or f"trace:{trace_path}",
+        suite="synthetic",
+        kernel="trace",
+        variant="-",
+        paper_footprint_bytes=max(64 * 64, int(stats.footprint_bytes / scale)),
+        read_fraction=min(1.0, max(0.0, stats.read_fraction)),
+        hot_fraction=1.0,
+        hot_probability=0.0,
+        sequential_run=1.0,
+        mean_gap_ns=max(0.1, stats.mean_gap_ns),
+        miss_class=MissClass.HIGH
+        if stats.footprint_bytes > config.cache_capacity_bytes else MissClass.LOW,
+    )
+    # The trace's own touched blocks form the warmed resident set.
+    from repro.workloads.trace import read_trace
+
+    touched = sorted({block for _g, _op, block, _pc in read_trace(trace_path)})
+    streams = trace_streams(trace_path, config.cores)
+    return _run(design, surrogate, config, streams, demands_per_core, seed,
+                prewarm_blocks=touched)
+
+
+def run_matrix(
+    designs: List[str],
+    specs: List[WorkloadSpec],
+    config: Optional[SystemConfig] = None,
+    demands_per_core: int = 2000,
+    seed: int = 42,
+) -> Dict[str, Dict[str, RunResult]]:
+    """Run a designs x workloads sweep: ``results[workload][design]``."""
+    results: Dict[str, Dict[str, RunResult]] = {}
+    for spec in specs:
+        row: Dict[str, RunResult] = {}
+        for design in designs:
+            row[design] = run_experiment(
+                design, spec, config=config,
+                demands_per_core=demands_per_core, seed=seed,
+            )
+        results[spec.name] = row
+    return results

@@ -1,0 +1,251 @@
+"""Sensitivity and ablation studies from §V-D/E/F and §V-A.
+
+* :func:`predictor_study` — §V-D: MAP-I gives only ~1.03-1.04x.
+* :func:`flush_buffer_sensitivity` — §V-E: sizes 8/16/32/64; 16 entries
+  never stall, mean occupancy ~5, max ~12.
+* :func:`set_associativity_study` — §V-F: 1/2/4/8/16 ways perform alike
+  on these workloads.
+* :func:`probing_ablation` — §V-A/V-B: TDRAM without early tag probing
+  behaves like NDC.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config.system import SystemConfig
+from repro.experiments.figures import ExperimentContext, FigureResult, geomean
+from repro.experiments.runner import run_experiment
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.suite import representative_suite
+from repro.workloads.synthetic import write_storm_spec
+
+
+def predictor_study(
+    config: Optional[SystemConfig] = None,
+    specs: Optional[List[WorkloadSpec]] = None,
+    demands_per_core: int = 600,
+    seed: int = 7,
+) -> FigureResult:
+    """§V-D: Cascade Lake with and without the MAP-I predictor."""
+    config = config or SystemConfig.small()
+    specs = specs if specs is not None else representative_suite()
+    rows = []
+    speedups = []
+    for spec in specs:
+        base = run_experiment("cascade_lake", spec, config=config,
+                              demands_per_core=demands_per_core, seed=seed)
+        pred = run_experiment("cascade_lake", spec,
+                              config=config.with_(use_predictor=True),
+                              demands_per_core=demands_per_core, seed=seed)
+        speedup = pred.speedup_over(base)
+        speedups.append(speedup)
+        rows.append({
+            "workload": spec.name,
+            "base_runtime_us": base.runtime_ps / 1e6,
+            "predictor_runtime_us": pred.runtime_ps / 1e6,
+            "speedup": speedup,
+            "speculative_fetches": pred.events.get("speculative_fetch", 0),
+        })
+    rows.append({"workload": "geomean", "speedup": geomean(speedups)})
+    return FigureResult(
+        figure="Section V-D",
+        title="MAP-I predictor impact on Cascade Lake",
+        columns=["workload", "base_runtime_us", "predictor_runtime_us",
+                 "speedup", "speculative_fetches"],
+        rows=rows,
+        notes="Paper: predictors give only ~1.03-1.04x and add bandwidth bloat.",
+    )
+
+
+def prefetcher_study(
+    config: Optional[SystemConfig] = None,
+    specs: Optional[List[WorkloadSpec]] = None,
+    demands_per_core: int = 600,
+    seed: int = 7,
+    degree: int = 2,
+) -> FigureResult:
+    """§V-D (prefetchers): TDRAM with and without a stride prefetcher.
+
+    The paper's preliminary analysis: prefetchers give only incremental
+    gains at the DRAM-cache level because they interfere with demands
+    and consume bandwidth, especially at low accuracy.
+    """
+    config = config or SystemConfig.small()
+    specs = specs if specs is not None else representative_suite()
+    rows = []
+    speedups = []
+    for spec in specs:
+        base = run_experiment("tdram", spec, config=config,
+                              demands_per_core=demands_per_core, seed=seed)
+        pref = run_experiment(
+            "tdram", spec,
+            config=config.with_(use_prefetcher=True, prefetch_degree=degree),
+            demands_per_core=demands_per_core, seed=seed,
+        )
+        speedup = pref.speedup_over(base)
+        speedups.append(speedup)
+        rows.append({
+            "workload": spec.name,
+            "speedup": speedup,
+            "prefetches": pref.prefetches,
+            "useful": pref.prefetch_useful,
+            "extra_bloat": pref.bloat_factor - base.bloat_factor,
+        })
+    rows.append({"workload": "geomean", "speedup": geomean(speedups)})
+    return FigureResult(
+        figure="Section V-D (prefetchers)",
+        title=f"Stride prefetcher (degree {degree}) on TDRAM",
+        columns=["workload", "speedup", "prefetches", "useful", "extra_bloat"],
+        rows=rows,
+        notes="Paper: prefetchers give incremental gains and add bloat.",
+    )
+
+
+def flush_buffer_sensitivity(
+    config: Optional[SystemConfig] = None,
+    sizes: tuple = (8, 16, 32, 64),
+    spec: Optional[WorkloadSpec] = None,
+    demands_per_core: int = 800,
+    seed: int = 7,
+) -> FigureResult:
+    """§V-E: flush-buffer occupancy/stalls across buffer sizes.
+
+    Defaults to ft.D — a write-heavy high-miss workload that exercises
+    write-miss-dirty traffic the way the paper's stressors (lu.D, bc)
+    do. ``repro.workloads.write_storm_spec()`` provides an adversarial
+    stressor well beyond anything in the suite.
+    """
+    config = config or SystemConfig.small()
+    if spec is None:
+        from repro.workloads.suite import workload
+        spec = workload("ft.D")
+    rows = []
+    for size in sizes:
+        result = run_experiment(
+            "tdram", spec, config=config.with_(flush_buffer_entries=size),
+            demands_per_core=demands_per_core, seed=seed,
+        )
+        rows.append({
+            "entries": size,
+            "stalls": result.flush_stalls,
+            "mean_occupancy": result.flush_mean_occupancy,
+            "max_occupancy": result.flush_max_occupancy,
+            "unload_read_miss_clean": result.flush_unloads.get(
+                "unload_read_miss_clean", 0),
+            "unload_refresh": result.flush_unloads.get("unload_refresh", 0),
+            "unload_forced": result.flush_unloads.get("unload_forced", 0),
+            "runtime_us": result.runtime_ps / 1e6,
+        })
+    return FigureResult(
+        figure="Section V-E",
+        title="Flush buffer size sensitivity (TDRAM, write-heavy workload)",
+        columns=["entries", "stalls", "mean_occupancy", "max_occupancy",
+                 "unload_read_miss_clean", "unload_refresh", "unload_forced",
+                 "runtime_us"],
+        rows=rows,
+        notes=("Paper: only lu.D at 8 entries ever stalled (13 times); "
+               "mean occupancy ~5, max ~12; 16 entries never stall."),
+    )
+
+
+def set_associativity_study(
+    config: Optional[SystemConfig] = None,
+    ways: tuple = (1, 2, 4, 8, 16),
+    specs: Optional[List[WorkloadSpec]] = None,
+    demands_per_core: int = 600,
+    seed: int = 7,
+) -> FigureResult:
+    """§V-F: direct-mapped vs set-associative TDRAM.
+
+    The paper finds the HPC workloads have negligible conflict misses,
+    so all associativities achieve similar speedups over main memory.
+    """
+    config = config or SystemConfig.small()
+    specs = specs if specs is not None else representative_suite()
+    rows = []
+    for n_ways in ways:
+        cfg = config.with_(cache_ways=n_ways)
+        speedups = []
+        miss_ratios = []
+        for spec in specs:
+            baseline = run_experiment("no_cache", spec, config=cfg,
+                                      demands_per_core=demands_per_core,
+                                      seed=seed)
+            result = run_experiment("tdram", spec, config=cfg,
+                                    demands_per_core=demands_per_core,
+                                    seed=seed)
+            speedups.append(result.speedup_over(baseline))
+            miss_ratios.append(result.miss_ratio)
+        rows.append({
+            "ways": n_ways,
+            "speedup_vs_no_cache": geomean(speedups),
+            "mean_miss_ratio": sum(miss_ratios) / len(miss_ratios),
+        })
+    return FigureResult(
+        figure="Section V-F",
+        title="Set-associative TDRAM (geomean speedup over main memory only)",
+        columns=["ways", "speedup_vs_no_cache", "mean_miss_ratio"],
+        rows=rows,
+        notes="Paper: direct-mapped and 2/4/8/16-way perform similarly.",
+    )
+
+
+def way_select_study(ways_list=(1, 2, 4, 8, 16)) -> FigureResult:
+    """§V-F/Table I: in-DRAM vs controller-side way selection (analytic).
+
+    TDRAM's per-way comparators keep set-associative accesses at
+    direct-mapped latency; shipping all tags to the controller adds an
+    HM round trip that grows with associativity.
+    """
+    from repro.core.ways import way_select_comparison
+    from repro.dram.timing import hbm3_cache_timing, rldram_like_tag_timing
+
+    rows = way_select_comparison(hbm3_cache_timing(),
+                                 rldram_like_tag_timing(), ways_list)
+    return FigureResult(
+        figure="Section V-F (way selection)",
+        title="Per-access overhead of way-selection implementations",
+        columns=["ways", "in_dram_latency_ns", "controller_latency_ns",
+                 "in_dram_energy_pj", "controller_energy_pj"],
+        rows=rows,
+        notes=("Paper: implementations without in-DRAM comparators send all "
+               "set tags to the controller, incurring extra latency/energy."),
+    )
+
+
+def probing_ablation(
+    config: Optional[SystemConfig] = None,
+    specs: Optional[List[WorkloadSpec]] = None,
+    demands_per_core: int = 600,
+    seed: int = 7,
+) -> FigureResult:
+    """§V-A/V-B: TDRAM without early tag probing ~ NDC."""
+    config = config or SystemConfig.small()
+    specs = specs if specs is not None else representative_suite()
+    rows = []
+    for spec in specs:
+        tdram = run_experiment("tdram", spec, config=config,
+                               demands_per_core=demands_per_core, seed=seed)
+        no_probe = run_experiment("tdram", spec,
+                                  config=config.with_(enable_probing=False),
+                                  demands_per_core=demands_per_core, seed=seed)
+        ndc = run_experiment("ndc", spec, config=config,
+                             demands_per_core=demands_per_core, seed=seed)
+        rows.append({
+            "workload": spec.name,
+            "tdram_tag_ns": tdram.tag_check_ns,
+            "tdram_noprobe_tag_ns": no_probe.tag_check_ns,
+            "ndc_tag_ns": ndc.tag_check_ns,
+            "probing_gain": (no_probe.tag_check_ns / tdram.tag_check_ns
+                             if tdram.tag_check_ns else 0.0),
+        })
+    return FigureResult(
+        figure="Section V-A (ablation)",
+        title="Early tag probing ablation: TDRAM vs TDRAM-no-probe vs NDC",
+        columns=["workload", "tdram_tag_ns", "tdram_noprobe_tag_ns",
+                 "ndc_tag_ns", "probing_gain"],
+        rows=rows,
+        notes=("Paper: TDRAM without probing has tag-check latency similar to "
+               "NDC; probing improves tag checks up to 70% on large workloads."),
+    )

@@ -1,0 +1,100 @@
+"""Generic design-space sweeps over SystemConfig parameters.
+
+Beyond the paper's own sensitivity studies (§V-D/E/F), these helpers
+let a user sweep *any* configuration axis — cache capacity, channel
+count, MLP, buffer sizes — and get a :class:`FigureResult` back. Used
+by ``examples/design_space.py`` and the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List, Optional, Sequence
+
+from repro.config.system import SystemConfig
+from repro.errors import ConfigError
+from repro.experiments.figures import FigureResult, geomean
+from repro.experiments.runner import run_experiment
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.suite import representative_suite
+
+
+def config_sweep(
+    parameter: str,
+    values: Sequence,
+    design: str = "tdram",
+    config: Optional[SystemConfig] = None,
+    specs: Optional[List[WorkloadSpec]] = None,
+    baseline_design: Optional[str] = "no_cache",
+    demands_per_core: int = 400,
+    seed: int = 7,
+    hold_footprint: bool = False,
+) -> FigureResult:
+    """Sweep one ``SystemConfig`` field and report per-point geomeans.
+
+    Parameters
+    ----------
+    parameter:
+        Field name of :class:`SystemConfig` (e.g. ``cache_capacity_bytes``,
+        ``max_outstanding_reads_per_core``, ``flush_buffer_entries``).
+    hold_footprint:
+        When sweeping the cache capacity, keep the *absolute* workload
+        footprint fixed (workload footprints otherwise scale with the
+        configured capacity).
+    """
+    base_config = config or SystemConfig.small()
+    if not hasattr(base_config, parameter):
+        raise ConfigError(f"SystemConfig has no field {parameter!r}")
+    specs = specs if specs is not None else representative_suite()[:4]
+    rows = []
+    for value in values:
+        point = base_config.with_(**{parameter: value})
+        speedups = []
+        tag_checks = []
+        miss_ratios = []
+        for spec in specs:
+            run_spec = spec
+            if hold_footprint and parameter == "cache_capacity_bytes":
+                run_spec = replace(
+                    spec,
+                    paper_footprint_bytes=int(
+                        spec.paper_footprint_bytes
+                        * base_config.cache_capacity_bytes / value
+                    ),
+                )
+            result = run_experiment(design, run_spec, point,
+                                    demands_per_core=demands_per_core,
+                                    seed=seed)
+            tag_checks.append(result.tag_check_ns)
+            miss_ratios.append(result.miss_ratio)
+            if baseline_design is not None:
+                baseline = run_experiment(baseline_design, run_spec, point,
+                                          demands_per_core=demands_per_core,
+                                          seed=seed)
+                speedups.append(result.speedup_over(baseline))
+        row = {
+            parameter: value,
+            "tag_check_ns": geomean(tag_checks),
+            "mean_miss_ratio": sum(miss_ratios) / len(miss_ratios),
+        }
+        if speedups:
+            row[f"speedup_vs_{baseline_design}"] = geomean(speedups)
+        rows.append(row)
+    columns = list(rows[0].keys())
+    return FigureResult(
+        figure=f"Sweep: {parameter}",
+        title=f"{design} across {parameter} = {list(values)}",
+        columns=columns,
+        rows=rows,
+    )
+
+
+def mlp_sweep(values: Iterable[int] = (1, 2, 4, 8, 16), **kwargs) -> FigureResult:
+    """How sensitive are the results to the front end's per-core MLP?"""
+    return config_sweep("max_outstanding_reads_per_core", list(values),
+                        **kwargs)
+
+
+def channel_sweep(values: Iterable[int] = (2, 4, 8), **kwargs) -> FigureResult:
+    """DRAM-cache channel-count sweep (bandwidth scaling)."""
+    return config_sweep("cache_channels", list(values), **kwargs)

@@ -1,0 +1,5 @@
+"""Backing-store (main memory) models."""
+
+from repro.memory.main_memory import MainMemory
+
+__all__ = ["MainMemory"]

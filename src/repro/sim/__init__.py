@@ -1,0 +1,5 @@
+"""Event-driven simulation kernel (integer-picosecond time)."""
+
+from repro.sim.kernel import PS_PER_NS, Simulator, ns, to_ns
+
+__all__ = ["PS_PER_NS", "Simulator", "ns", "to_ns"]

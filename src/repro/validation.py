@@ -1,0 +1,126 @@
+"""Self-check: fast invariants anyone can run after an install.
+
+Mirrors the base-die BIST the paper mentions (§III-C3) in spirit: a
+battery of analytic checks over the configured timing, area, ECC, and
+protocol constants, returning human-readable pass/fail lines. The CLI
+exposes it as ``tdram-repro selfcheck``; CI runs it as a test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.core.area import die_area_report, signal_report
+from repro.core.commands import hm_precedes_data_by
+from repro.core.ecc import EccOutcome, tag_ecc_code
+from repro.core.hm_bus import packet_beats, tag_bits_for
+from repro.core.tag_mats import flush_move_safe, internal_result_hidden
+from repro.dram.timing import DramTiming, TagTiming, hbm3_cache_timing, \
+    rldram_like_tag_timing
+from repro.sim.kernel import ns
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    name: str
+    passed: bool
+    detail: str
+
+
+def run_selfcheck(
+    timing: DramTiming = None,
+    tag: TagTiming = None,
+) -> List[CheckResult]:
+    """Run every invariant check; returns one result per check."""
+    timing = timing or hbm3_cache_timing()
+    tag = tag or rldram_like_tag_timing()
+    checks: List[Tuple[str, Callable[[], Tuple[bool, str]]]] = []
+
+    def check(name: str):
+        def wrap(fn):
+            checks.append((name, fn))
+            return fn
+        return wrap
+
+    @check("tag access + HM transfer = 15 ns (matches RLDRAM tRL)")
+    def _rl():
+        value = tag.hm_result_delay
+        return value == ns(15), f"tRCD_TAG + tHM = {value / 1000:.1f} ns"
+
+    @check("internal tag result hides under tRCD (§III-C4)")
+    def _hidden():
+        ok = internal_result_hidden(timing, tag)
+        return ok, (f"tRCD_TAG + tHM_int = "
+                    f"{(tag.tRCD_TAG + tag.tHM_int) / 1000:.1f} ns vs "
+                    f"tRCD = {timing.tRCD / 1000:.1f} ns")
+
+    @check("flush-buffer move beats incoming write data (§III-C4)")
+    def _flush():
+        return flush_move_safe(timing, tag), \
+            f"tRL_core = {timing.tRL_core / 1000:.1f} ns"
+
+    @check("HM result precedes read data (conditional response window)")
+    def _window():
+        gap = hm_precedes_data_by(timing, tag)
+        return gap > 0, f"window = {gap / 1000:.1f} ns"
+
+    @check("die-area overhead = 8.24 % (§III-C5)")
+    def _area():
+        value = die_area_report().total_die_overhead
+        return abs(value - 0.0824) < 0.001, f"{value:.2%}"
+
+    @check("signal overhead = 192 pins, ~9.7 %, fits unused bumps (Fig 4A)")
+    def _signals():
+        report = signal_report()
+        ok = (report.extra_channel_signals == 192
+              and abs(report.overhead_fraction - 0.097) < 0.005
+              and report.fits_in_unused_bumps)
+        return ok, (f"{report.extra_channel_signals} pins, "
+                    f"{report.overhead_fraction:.1%}")
+
+    @check("1 PB / 64 GiB direct-mapped needs a 14-bit tag (§III-C3)")
+    def _tagbits():
+        bits = tag_bits_for(2 ** 50, 64 * 2 ** 30)
+        return bits == 14, f"{bits} bits"
+
+    @check("3 B metadata = 6 beats on the 4-bit HM bus (§III-B)")
+    def _beats():
+        beats = packet_beats()
+        return beats == 6, f"{beats} beats"
+
+    @check("tag SECDED corrects any single-bit error in 8-bit budget")
+    def _ecc():
+        code = tag_ecc_code()
+        if code.parity_bits > 8:
+            return False, f"needs {code.parity_bits} bits"
+        word = code.encode(0x2A5C)
+        for bit in range(code.codeword_bits):
+            result = code.decode(code.inject(word, (bit,)))
+            if result.outcome is not EccOutcome.CORRECTED or \
+                    result.data != 0x2A5C:
+                return False, f"bit {bit} not corrected"
+        return True, f"{code.parity_bits} check bits, all flips corrected"
+
+    @check("data-bank row cycle matches Table III (tRAS + tRP = 42 ns)")
+    def _trc():
+        return timing.tRC == ns(42), f"tRC = {timing.tRC / 1000:.0f} ns"
+
+    results = []
+    for name, fn in checks:
+        try:
+            passed, detail = fn()
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            passed, detail = False, f"raised {exc!r}"
+        results.append(CheckResult(name=name, passed=passed, detail=detail))
+    return results
+
+
+def render_selfcheck(results: List[CheckResult]) -> str:
+    lines = []
+    for result in results:
+        mark = "PASS" if result.passed else "FAIL"
+        lines.append(f"[{mark}] {result.name} — {result.detail}")
+    failed = sum(1 for r in results if not r.passed)
+    lines.append(f"{len(results) - failed}/{len(results)} checks passed")
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Multi-phase workloads.
+
+Real NPB applications alternate execution phases with very different
+memory behaviour (ft: compute vs transpose; cg: SpMV vs vector
+updates) — which is exactly why the paper samples fixed work regions
+with LoopPoint rather than averaging whole programs (§IV-B: "the
+workload has different execution phases").
+
+A :class:`PhasedWorkload` chains per-phase generators: each phase
+contributes a fixed number of demands before the stream switches, and
+the phase schedule cycles. Phases reuse the single-phase
+:class:`~repro.workloads.base.WorkloadSpec` machinery, with optional
+per-phase address offsets so phases can touch disjoint regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.config.system import SystemConfig
+from repro.errors import WorkloadError
+from repro.workloads.base import DemandRecord, MissClass, WorkloadSpec
+from repro.workloads.suite import demand_stream
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase: a spec, how many demands it runs, an address offset."""
+
+    spec: WorkloadSpec
+    demands: int
+    block_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.demands <= 0:
+            raise WorkloadError("phase demands must be positive")
+        if self.block_offset < 0:
+            raise WorkloadError("phase offset must be non-negative")
+
+
+class PhasedWorkload:
+    """A cyclic schedule of phases presented as one workload.
+
+    The combined footprint is the maximum over phases (plus offsets),
+    so the runner's pre-warm covers every phase's resident set.
+    """
+
+    def __init__(self, name: str, phases: Sequence[Phase]) -> None:
+        if not phases:
+            raise WorkloadError("a phased workload needs at least one phase")
+        self.name = name
+        self.phases = list(phases)
+
+    # ------------------------------------------------------------------
+    def spec(self, config: SystemConfig) -> WorkloadSpec:
+        """A surrogate single spec describing the combined behaviour.
+
+        Used by the runner for pre-warming and bookkeeping; the actual
+        records come from :meth:`stream`.
+        """
+        total = sum(p.demands for p in self.phases)
+        footprint = max(
+            p.spec.paper_footprint_bytes + p.block_offset * 64 / max(
+                config.scale, 1e-12)
+            for p in self.phases
+        )
+        read_fraction = sum(
+            p.spec.read_fraction * p.demands for p in self.phases) / total
+        mean_gap = sum(
+            p.spec.mean_gap_ns * p.demands for p in self.phases) / total
+        worst = max(self.phases,
+                    key=lambda p: p.spec.paper_footprint_bytes).spec
+        return WorkloadSpec(
+            name=self.name,
+            suite="synthetic",
+            kernel="phased",
+            variant="-",
+            paper_footprint_bytes=int(footprint),
+            read_fraction=min(1.0, read_fraction),
+            hot_fraction=1.0,
+            hot_probability=0.0,
+            sequential_run=1.0,
+            mean_gap_ns=mean_gap,
+            miss_class=worst.miss_class,
+        )
+
+    def stream(self, config: SystemConfig, core_id: int, cores: int,
+               seed: int) -> Iterator[DemandRecord]:
+        """Per-core stream cycling through the phase schedule."""
+        sub_streams = [
+            demand_stream(phase.spec, config, core_id, cores,
+                          seed + 1009 * index)
+            for index, phase in enumerate(self.phases)
+        ]
+        while True:
+            for phase, sub in zip(self.phases, sub_streams):
+                for _ in range(phase.demands):
+                    gap, op, block, pc = next(sub)
+                    yield gap, op, block + phase.block_offset, pc
+
+    def streams(self, config: SystemConfig, seed: int = 42) -> List[Iterator]:
+        return [self.stream(config, core, config.cores, seed)
+                for core in range(config.cores)]
+
+
+def run_phased_experiment(
+    design: str,
+    workload: PhasedWorkload,
+    config: Optional[SystemConfig] = None,
+    demands_per_core: int = 2000,
+    seed: int = 42,
+):
+    """Simulate a phased workload (mirrors ``run_experiment``)."""
+    from repro.experiments.runner import _run
+
+    config = config or SystemConfig()
+    return _run(design, workload.spec(config), config,
+                workload.streams(config, seed), demands_per_core, seed)

@@ -1,0 +1,108 @@
+"""Behavioural tests for Alloy (80 B TADs) and BEAR (bloat mitigation)."""
+
+import pytest
+
+from repro.cache.alloy import AlloyCache
+from repro.cache.bear import BearCache
+from repro.cache.cascade_lake import CascadeLakeCache
+
+
+class TestAlloy:
+    def test_moves_80_bytes_per_access(self, make_system):
+        system = make_system(AlloyCache)
+        system.cache.tags.install(5, dirty=False)
+        system.read(5)
+        system.run()
+        ledger = system.cache.metrics.ledger
+        assert ledger.useful_bytes == 64
+        assert ledger.unuseful_bytes == 16  # tag + padding overhead
+        assert ledger.total_bytes == 80
+
+    def test_burst_occupies_dq_longer_than_cl(self, make_system):
+        alloy = make_system(AlloyCache)
+        alloy.cache.tags.install(5, dirty=False)
+        alloy.read(5)
+        alloy.run()
+        cl = make_system(CascadeLakeCache)
+        cl.cache.tags.install(5, dirty=False)
+        cl.read(5)
+        cl.run()
+        # 80 B vs 64 B: the hit response lands half a nanosecond later.
+        assert alloy.completed[0][1] - cl.completed[0][1] == 500
+
+    def test_write_path_matches_cascade_lake_flow(self, make_system):
+        system = make_system(AlloyCache)
+        system.write(5)
+        system.run()
+        ledger = system.cache.metrics.ledger.by_category()
+        assert ledger.get("tag_check_discard") == 80
+        assert ledger.get("demand_write") == 64
+        assert ledger.get("demand_write_overhead") == 16
+
+    def test_miss_discards_full_80_bytes(self, make_system):
+        system = make_system(AlloyCache)
+        system.read(5)
+        system.run()
+        assert system.cache.metrics.ledger.by_category()[
+            "tag_check_discard"] == 80
+
+
+class TestBearWriteHitBypass:
+    def test_write_hit_skips_tag_read(self, make_system):
+        system = make_system(BearCache)
+        system.cache.tags.install(5, dirty=False)
+        system.write(5)
+        system.run()
+        metrics = system.cache.metrics
+        assert metrics.events["write_hit_bypass"] == 1
+        assert "tag_check_discard" not in metrics.ledger.by_category()
+        assert metrics.outcomes["write_hit"] == 1
+        assert system.cache.tags.is_dirty(5)
+
+    def test_write_hit_tag_check_is_instant(self, make_system):
+        """The LLC presence bit answers the check with zero latency."""
+        system = make_system(BearCache)
+        system.cache.tags.install(5, dirty=False)
+        request = system.write(5)
+        system.run()
+        assert request.tag_result_time == request.arrive_time
+
+    def test_write_miss_still_pays_tag_read(self, make_system):
+        system = make_system(BearCache)
+        system.write(5)
+        system.run()
+        metrics = system.cache.metrics
+        assert metrics.events["write_hit_bypass"] == 0
+        assert metrics.ledger.by_category().get("tag_check_discard") == 80
+
+    def test_read_path_unchanged_from_alloy(self, make_system):
+        system = make_system(BearCache)
+        system.cache.tags.install(5, dirty=False)
+        system.read(5)
+        system.run()
+        assert system.cache.metrics.ledger.by_category().get("hit_data") == 64
+
+
+class TestBearFillBypass:
+    def test_some_fills_are_bypassed(self, make_system):
+        system = make_system(BearCache)
+        blocks = [i * system.config.cache_channels for i in range(40)]
+        for block in blocks:
+            system.read(block)
+            system.run(200)
+        system.run(5000)
+        bypassed = system.cache.metrics.events["fill_bypass"]
+        assert 0 < bypassed < len(blocks)
+        installed = sum(system.cache.tags.contains(b) for b in blocks)
+        assert installed == len(blocks) - bypassed
+
+    def test_bypass_reduces_fill_traffic_vs_alloy(self, make_system):
+        def fills(design):
+            system = make_system(design)
+            for i in range(30):
+                system.read(i)
+                system.run(300)
+            system.run(5000)
+            return system.cache.metrics.ledger.by_category().get("fill", 0)
+
+        assert fills(BearCache) < fills(AlloyCache)

@@ -1,0 +1,152 @@
+"""Behavioural tests for the Cascade Lake baseline (tags-in-ECC-bits).
+
+The defining behaviours (§II): every demand starts with a DRAM read;
+that read's data is only useful on read hits and dirty-victim misses;
+writes then need a second, write-direction access.
+"""
+
+import pytest
+
+from repro.cache.cascade_lake import CascadeLakeCache
+from repro.cache.request import Op
+
+
+class TestReadPath:
+    def test_read_hit_completes_with_one_useful_transfer(self, make_system):
+        system = make_system(CascadeLakeCache)
+        system.cache.tags.install(5, dirty=False)
+        request = system.read(5)
+        system.run()
+        assert [r for r, _t in system.completed] == [request]
+        ledger = system.cache.metrics.ledger
+        assert ledger.by_category().get("hit_data") == 64
+        assert ledger.unuseful_bytes == 0
+        assert system.cache.metrics.outcomes["read_hit"] == 1
+
+    def test_read_hit_latency_is_tag_read_latency(self, make_system):
+        system = make_system(CascadeLakeCache)
+        system.cache.tags.install(5, dirty=False)
+        system.read(5)
+        system.run()
+        _request, finish = system.completed[0]
+        # ACT+RD+data: tRCD + tCL + tBURST = 32 ns (unloaded).
+        assert finish == pytest.approx(32_000, abs=2_000)
+
+    def test_read_miss_clean_discards_tag_data_and_fetches(self, make_system):
+        system = make_system(CascadeLakeCache)
+        request = system.read(5)
+        system.run()
+        metrics = system.cache.metrics
+        assert metrics.outcomes["read_miss_clean"] == 1
+        ledger = metrics.ledger
+        assert ledger.by_category().get("tag_check_discard") == 64
+        assert ledger.by_category().get("mm_fetch") == 64
+        assert system.main_memory.reads_issued == 1
+        assert [r for r, _t in system.completed] == [request]
+
+    def test_read_miss_fills_the_cache(self, make_system):
+        system = make_system(CascadeLakeCache)
+        system.read(5)
+        system.run()
+        assert system.cache.tags.contains(5)
+        assert system.cache.metrics.ledger.by_category().get("fill") == 64
+
+    def test_read_miss_latency_includes_tag_check_serialisation(self, make_system):
+        """The §II-B problem: the mm fetch starts only after the tag read."""
+        system = make_system(CascadeLakeCache)
+        system.read(5)
+        system.run()
+        _request, finish = system.completed[0]
+        assert finish > 32_000 + 30_000  # tag read + DDR5 access floor
+
+    def test_read_miss_dirty_writes_back_victim(self, make_system):
+        system = make_system(CascadeLakeCache)
+        victim = 5 + system.cache.tags.num_sets
+        system.cache.tags.install(victim, dirty=True)
+        system.read(5)
+        system.run()
+        metrics = system.cache.metrics
+        assert metrics.outcomes["read_miss_dirty"] == 1
+        assert metrics.ledger.by_category().get("victim_readout") == 64
+        assert metrics.ledger.by_category().get("mm_writeback") == 64
+        assert system.main_memory.writes_issued == 1
+        assert system.cache.tags.contains(5)
+        assert not system.cache.tags.contains(victim)
+
+
+class TestWritePath:
+    def test_write_hit_reads_then_writes(self, make_system):
+        """Write hits still cost a read (the paper's key CL inefficiency)."""
+        system = make_system(CascadeLakeCache)
+        system.cache.tags.install(5, dirty=False)
+        system.write(5)
+        system.run()
+        metrics = system.cache.metrics
+        assert metrics.outcomes["write_hit"] == 1
+        ledger = metrics.ledger.by_category()
+        assert ledger.get("tag_check_discard") == 64   # wasted read
+        assert ledger.get("demand_write") == 64
+        assert system.cache.tags.is_dirty(5)
+
+    def test_write_miss_clean_installs_dirty(self, make_system):
+        system = make_system(CascadeLakeCache)
+        system.write(5)
+        system.run()
+        assert system.cache.metrics.outcomes["write_miss_clean"] == 1
+        assert system.cache.tags.is_dirty(5)
+        assert system.main_memory.reads_issued == 0  # no fetch on write miss
+
+    def test_write_miss_dirty_writes_back_then_overwrites(self, make_system):
+        system = make_system(CascadeLakeCache)
+        victim = 5 + system.cache.tags.num_sets
+        system.cache.tags.install(victim, dirty=True)
+        system.write(5)
+        system.run()
+        metrics = system.cache.metrics
+        assert metrics.outcomes["write_miss_dirty"] == 1
+        assert system.main_memory.writes_issued == 1
+        assert system.cache.tags.is_dirty(5)
+        assert not system.cache.tags.contains(victim)
+
+    def test_writes_occupy_the_read_queue(self, make_system):
+        """§II-B.2: reads and writes compete in the same read buffer."""
+        system = make_system(CascadeLakeCache)
+        system.write(5)
+        system.run()
+        # The write's tag read went through the read buffer, so it is
+        # counted in the read-buffer queueing-delay statistic (Fig. 10).
+        assert system.cache.metrics.read_queue_delay.count == 1
+
+    def test_write_acceptance_needs_both_buffers(self, make_system):
+        system = make_system(CascadeLakeCache)
+        channel, _bank = system.cache.route(0)
+        scheduler = system.cache.schedulers[channel]
+        scheduler.read_capacity = 0
+        assert not system.cache.can_accept(Op.WRITE, 0)
+
+
+class TestContention:
+    def test_tag_check_latency_grows_with_queue_depth(self, make_system):
+        shallow = make_system(CascadeLakeCache)
+        shallow.read(0)
+        shallow.run()
+        deep = make_system(CascadeLakeCache)
+        channels = deep.config.cache_channels
+        for i in range(32):
+            deep.read(i * channels)  # all to channel 0
+        deep.run()
+        assert deep.cache.metrics.tag_check.mean_ns > \
+            shallow.cache.metrics.tag_check.mean_ns
+
+    def test_mshr_merges_duplicate_fetches(self, make_system):
+        system = make_system(CascadeLakeCache)
+        system.read(5)
+        system.read(5)
+        system.run()
+        assert system.main_memory.reads_issued == 1
+        assert len(system.completed) == 2
+        # The second read either merged into the outstanding MSHR or
+        # arrived after the fill and hit — both avoid a second fetch.
+        metrics = system.cache.metrics
+        assert metrics.events["mshr_merge"] >= 1 or \
+            metrics.outcomes["read_hit"] >= 1

@@ -1,0 +1,32 @@
+"""Tests for the ``tdram-repro`` command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_list_target(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table4" in out and "run" in out
+
+    def test_analytic_figure(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "die-area" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "TDRAM" in capsys.readouterr().out
+
+    def test_unknown_target(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_run_requires_two_args(self, capsys):
+        assert main(["run", "tdram"]) == 2
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "ideal", "bfs.22", "--demands", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime_ps" in out and "miss_ratio" in out

@@ -1,0 +1,136 @@
+"""Cross-design property tests: invariants every design must satisfy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.alloy import AlloyCache
+from repro.cache.bear import BearCache
+from repro.cache.cascade_lake import CascadeLakeCache
+from repro.cache.ideal import IdealCache
+from repro.cache.ndc import NdcCache
+from repro.cache.tdram import TdramCache
+
+ALL_DESIGNS = [CascadeLakeCache, AlloyCache, BearCache, NdcCache,
+               TdramCache, IdealCache]
+
+
+@pytest.mark.parametrize("design", ALL_DESIGNS)
+class TestConservation:
+    def test_every_read_completes_exactly_once(self, make_system, design):
+        system = make_system(design)
+        blocks = [3, 3, 17, 129, 17 + system.cache.tags.num_sets]
+        system.cache.tags.install(17, dirty=True)
+        for block in blocks:
+            system.read(block)
+        system.run(50_000)
+        completed = [r for r, _t in system.completed]
+        assert len(completed) == len(blocks)
+        assert len(set(id(r) for r in completed)) == len(blocks)
+
+    def test_outcome_recorded_for_every_demand(self, make_system, design):
+        system = make_system(design)
+        system.read(5)
+        system.write(9)
+        system.run(50_000)
+        assert system.cache.metrics.demands == 2
+
+    def test_no_pending_work_left_behind(self, make_system, design):
+        system = make_system(design)
+        for block in (1, 2, 3, 4):
+            system.read(block)
+            system.write(block + 100)
+        system.run(100_000)
+        assert system.cache.pending_ops() == 0
+
+    def test_dirty_data_never_lost(self, make_system, design):
+        """A dirty line displaced from the cache must reach main memory
+        or still sit safely in the flush/victim buffer — the paper's
+        correctness requirement for write-miss-dirty (§II-B.4)."""
+        system = make_system(design)
+        victim = 7 + system.cache.tags.num_sets
+        system.cache.tags.install(victim, dirty=True)
+        system.write(7)   # displaces the dirty victim
+        system.run(100_000)
+        flush = getattr(system.cache, "flush", None)
+        buffered = flush is not None and flush.contains(victim)
+        assert system.main_memory.writes_issued >= 1 or buffered
+
+    def test_completion_times_after_arrival(self, make_system, design):
+        system = make_system(design)
+        requests = [system.read(block) for block in (5, 77, 2049)]
+        system.run(50_000)
+        for request, finish in system.completed:
+            assert finish > request.arrive_time
+            if request.tag_result_time >= 0:
+                assert finish >= request.tag_result_time
+
+
+@pytest.mark.parametrize("design", ALL_DESIGNS)
+class TestLedgerSanity:
+    def test_bloat_at_least_one(self, make_system, design):
+        system = make_system(design)
+        system.cache.tags.install(0, dirty=False)
+        system.read(0)
+        system.read(33)
+        system.write(65)
+        system.run(50_000)
+        assert system.cache.metrics.ledger.bloat_factor >= 1.0
+
+    def test_useful_bytes_equal_64_per_demand(self, make_system, design):
+        """With the Table IV accounting, each demand contributes exactly
+        one useful 64 B payload (merged MSHR reads may share one)."""
+        system = make_system(design)
+        system.cache.tags.install(0, dirty=False)
+        blocks = [0, 17, 33, 49]
+        for block in blocks:
+            system.read(block)
+        system.write(65)
+        system.run(50_000)
+        demands = len(blocks) + 1
+        assert system.cache.metrics.ledger.useful_bytes <= demands * 64
+        assert system.cache.metrics.ledger.useful_bytes >= (demands - 1) * 64
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    accesses=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=500)),
+        min_size=1, max_size=25,
+    ),
+)
+def test_property_architectural_state_identical_across_designs(accesses):
+    """After any access sequence, every design's tag store agrees with
+    an architectural reference (dict of last writes + fills)."""
+    from repro.config.system import MIB, SystemConfig
+    from tests.conftest import System
+
+    config = SystemConfig(cache_capacity_bytes=1 * MIB,
+                          mm_capacity_bytes=16 * MIB, cores=2)
+    systems = [System(design, config) for design in
+               (CascadeLakeCache, NdcCache, TdramCache, IdealCache)]
+    for is_write, block in accesses:
+        for system in systems:
+            if is_write:
+                system.write(block)
+            else:
+                system.read(block)
+        for system in systems:
+            system.run(30_000)
+    reference = None
+    for system in systems:
+        flush = getattr(system.cache, "flush", None)
+        def present(block):
+            if system.cache.tags.contains(block):
+                return True
+            return flush is not None and flush.contains(block)
+        def dirty(block):
+            if system.cache.tags.is_dirty(block):
+                return True
+            return flush is not None and flush.contains(block)
+        touched = {block for _w, block in accesses}
+        state = (frozenset(b for b in touched if present(b)),
+                 frozenset(b for b in touched if dirty(b)))
+        if reference is None:
+            reference = state
+        else:
+            assert state == reference, system.cache.design_name

@@ -1,0 +1,66 @@
+"""Property tests on the channel issue planner.
+
+The fixed-point `earliest_issue` must satisfy, for any traffic history:
+the returned instant is at or after the request time, issuing exactly
+there never raises, and the result is idempotent (asking again at the
+granted time returns the same time).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.device import DramChannel
+from repro.dram.timing import hbm3_cache_timing, rldram_like_tag_timing
+from repro.sim.kernel import Simulator
+
+ACCESS = st.tuples(
+    st.integers(min_value=0, max_value=15),       # bank
+    st.booleans(),                                # is_write
+    st.booleans(),                                # with_tag
+    st.integers(min_value=0, max_value=5_000),    # requested delay (ps)
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(accesses=st.lists(ACCESS, min_size=1, max_size=30))
+def test_property_earliest_issue_is_legal_and_idempotent(accesses):
+    channel = DramChannel(Simulator(), hbm3_cache_timing(), 16, "prop",
+                          tag_timing=rldram_like_tag_timing(),
+                          enable_refresh=False)
+    t = 0
+    for bank, is_write, with_tag, delay in accesses:
+        requested = t + delay
+        earliest = channel.earliest_issue(bank, requested, is_write,
+                                          with_tag=with_tag)
+        assert earliest >= requested
+        # Idempotent: re-planning at the grant returns the grant.
+        assert channel.earliest_issue(bank, earliest, is_write,
+                                      with_tag=with_tag) == earliest
+        grant = channel.issue_access(bank, earliest, is_write,
+                                     with_tag=with_tag)  # must not raise
+        assert grant.issue == earliest
+        if grant.data_start is not None:
+            assert grant.data_start > earliest
+        if with_tag:
+            assert grant.hm_at is not None
+        t = earliest
+
+
+@settings(max_examples=40, deadline=None)
+@given(accesses=st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 63), st.booleans(),
+              st.integers(0, 3_000)),
+    min_size=1, max_size=30,
+))
+def test_property_open_page_planner_is_legal(accesses):
+    channel = DramChannel(Simulator(), hbm3_cache_timing(), 16, "open",
+                          enable_refresh=False, page_policy="open")
+    t = 0
+    for bank, row, is_write, delay in accesses:
+        requested = t + delay
+        earliest = channel.earliest_issue_open(bank, requested, row, is_write)
+        assert earliest >= requested
+        grant = channel.issue_access_open(bank, earliest, row, is_write)
+        assert grant.data_start is not None
+        assert grant.data_end > grant.data_start
+        assert channel.banks[bank].open_row == row
+        t = earliest

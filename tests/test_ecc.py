@@ -1,0 +1,100 @@
+"""Unit and property tests for the tag ECC (SECDED) model."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ecc import EccOutcome, SecdedCode, tag_ecc_code, tag_ecc_fits_budget
+from repro.errors import ConfigError
+
+
+class TestGeometry:
+    def test_16_bit_word_needs_6_check_bits(self):
+        code = SecdedCode(16)
+        assert code.hamming_bits == 5
+        assert code.parity_bits == 6
+        assert code.codeword_bits == 22
+
+    def test_paper_budget_covers_tag_word(self):
+        """§III-C3: 8 ECC bits cover the 16-bit tag+valid+dirty word."""
+        assert tag_ecc_fits_budget(8)
+        assert tag_ecc_code().data_bits == 16
+
+    @pytest.mark.parametrize("data_bits,hamming", [(4, 3), (8, 4), (16, 5),
+                                                   (32, 6)])
+    def test_hamming_bit_counts(self, data_bits, hamming):
+        assert SecdedCode(data_bits).hamming_bits == hamming
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigError):
+            SecdedCode(0)
+
+
+class TestEncodeDecode:
+    def test_clean_roundtrip(self):
+        code = tag_ecc_code()
+        for data in (0x0000, 0xFFFF, 0xBEEF, 0x5A5A):
+            result = code.decode(code.encode(data))
+            assert result.outcome is EccOutcome.CLEAN
+            assert result.data == data
+
+    def test_out_of_range_data_rejected(self):
+        with pytest.raises(ConfigError):
+            tag_ecc_code().encode(1 << 16)
+        with pytest.raises(ConfigError):
+            tag_ecc_code().encode(-1)
+
+    def test_out_of_range_codeword_rejected(self):
+        with pytest.raises(ConfigError):
+            tag_ecc_code().decode(1 << 22)
+
+    def test_every_single_bit_error_corrected(self):
+        code = tag_ecc_code()
+        data = 0xA3C5
+        clean = code.encode(data)
+        for bit in range(code.codeword_bits):
+            result = code.decode(code.inject(clean, (bit,)))
+            assert result.outcome is EccOutcome.CORRECTED, bit
+            assert result.data == data, bit
+
+    def test_every_double_bit_error_detected(self):
+        code = SecdedCode(8)  # small enough to sweep exhaustively
+        data = 0x5C
+        clean = code.encode(data)
+        for a, b in itertools.combinations(range(code.codeword_bits), 2):
+            result = code.decode(code.inject(clean, (a, b)))
+            assert result.outcome is EccOutcome.DETECTED, (a, b)
+
+    def test_inject_validates_positions(self):
+        code = tag_ecc_code()
+        with pytest.raises(ConfigError):
+            code.inject(0, (code.codeword_bits,))
+
+
+@given(data=st.integers(min_value=0, max_value=(1 << 16) - 1))
+def test_property_roundtrip_any_word(data):
+    code = tag_ecc_code()
+    result = code.decode(code.encode(data))
+    assert result.outcome is EccOutcome.CLEAN and result.data == data
+
+
+@given(data=st.integers(min_value=0, max_value=(1 << 16) - 1),
+       bit=st.integers(min_value=0, max_value=21))
+def test_property_single_error_always_corrected(data, bit):
+    code = tag_ecc_code()
+    broken = code.inject(code.encode(data), (bit,))
+    result = code.decode(broken)
+    assert result.outcome is EccOutcome.CORRECTED
+    assert result.data == data
+
+
+@given(data=st.integers(min_value=0, max_value=(1 << 16) - 1),
+       bits=st.sets(st.integers(min_value=0, max_value=21), min_size=2,
+                    max_size=2))
+def test_property_double_error_never_silently_corrupts(data, bits):
+    """A double error must never decode CLEAN (silent corruption)."""
+    code = tag_ecc_code()
+    broken = code.inject(code.encode(data), tuple(bits))
+    result = code.decode(broken)
+    assert result.outcome is EccOutcome.DETECTED

@@ -1,0 +1,139 @@
+"""Tests for the figure/table regeneration harness (fast subset)."""
+
+import pytest
+
+from repro.config.system import MIB, SystemConfig
+from repro.experiments.figures import (
+    ExperimentContext,
+    FigureResult,
+    fig01_hit_miss_breakdown,
+    fig02_queueing_baselines,
+    fig03_wasted_movement,
+    fig04_overheads,
+    fig09_tag_check,
+    fig10_queueing,
+    fig11_speedup_vs_cl,
+    fig12_speedup_vs_nocache,
+    fig13_energy,
+    geomean,
+    table4_bloat,
+)
+from repro.experiments.tables import TABLE1, table1_comparison
+from repro.workloads import workload
+
+FAST = SystemConfig(cache_capacity_bytes=4 * MIB, mm_capacity_bytes=64 * MIB,
+                    cores=4)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    """One shared context: each (design, workload) simulated once."""
+    specs = [workload("cg.C"), workload("is.D")]
+    return ExperimentContext(config=FAST, specs=specs, demands_per_core=200,
+                             seed=13)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_and_nonpositive(self):
+        assert geomean([]) == 0.0
+        assert geomean([0.0, -1.0]) == 0.0
+        assert geomean([0.0, 4.0]) == 4.0
+
+
+class TestFigureResult:
+    def test_render_contains_all_columns_and_rows(self):
+        result = FigureResult("Fig X", "demo", ["a", "b"],
+                              [{"a": 1.0, "b": "x"}], notes="note")
+        text = result.render()
+        assert "Fig X" in text and "demo" in text
+        assert "1.000" in text and "note" in text
+
+
+class TestContextFigures:
+    def test_context_memoises_runs(self, ctx):
+        first = ctx.result("tdram", ctx.specs[0])
+        second = ctx.result("tdram", ctx.specs[0])
+        assert first is second
+
+    def test_fig01_rows_per_workload(self, ctx):
+        result = fig01_hit_miss_breakdown(ctx)
+        assert len(result.rows) == len(ctx.specs)
+        for row in result.rows:
+            fractions = [row[c] for c in
+                         ("read_hit", "write_hit", "read_miss_clean",
+                          "read_miss_dirty", "write_miss_clean",
+                          "write_miss_dirty")]
+            assert sum(fractions) == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig02_no_cache_column_present(self, ctx):
+        result = fig02_queueing_baselines(ctx)
+        assert "no_cache" in result.columns
+        assert result.rows[-1]["workload"] == "geomean"
+
+    def test_fig03_unuseful_fractions_bounded(self, ctx):
+        result = fig03_wasted_movement(ctx)
+        for row in result.rows:
+            for design in ("cascade_lake", "alloy", "bear"):
+                assert 0.0 <= row[f"{design}_unuseful"] < 1.0
+
+    def test_fig09_tdram_fastest(self, ctx):
+        result = fig09_tag_check(ctx)
+        ratios = result.rows[-1]
+        assert ratios["tdram"] == 1.0
+        for design in ("cascade_lake", "alloy", "bear", "ndc"):
+            assert ratios[design] > 1.0
+
+    def test_fig10_has_geomean_row(self, ctx):
+        result = fig10_queueing(ctx)
+        assert result.rows[-1]["workload"] == "geomean"
+        assert result.rows[-1]["tdram"] > 0
+
+    def test_fig11_speedups_positive(self, ctx):
+        result = fig11_speedup_vs_cl(ctx)
+        for row in result.rows:
+            for design in ("alloy", "bear", "ndc", "tdram", "ideal"):
+                assert row[design] > 0.3
+
+    def test_fig12_normalised_to_no_cache(self, ctx):
+        result = fig12_speedup_vs_nocache(ctx)
+        assert "cascade_lake" in result.columns
+        assert len(result.rows) == len(ctx.specs) + 1
+
+    def test_fig13_relative_energy(self, ctx):
+        result = fig13_energy(ctx)
+        means = result.rows[-1]
+        assert means["alloy"] > 1.0          # Alloy costs more than CL
+        assert means["tdram"] < 1.0          # TDRAM saves energy
+
+    def test_table4_bloat_orderings(self, ctx):
+        result = table4_bloat(ctx)
+        by_design = {row["design"]: row for row in result.rows}
+        assert by_design["tdram"]["high_miss"] <= \
+            by_design["bear"]["high_miss"] <= by_design["alloy"]["high_miss"]
+        assert by_design["tdram"]["high_miss"] == \
+            pytest.approx(by_design["ndc"]["high_miss"], rel=0.15)
+
+
+class TestAnalyticTargets:
+    def test_fig04_matches_paper_values(self):
+        result = fig04_overheads()
+        values = {row["quantity"]: row["value"] for row in result.rows}
+        assert values["extra CA+HM signals per stack"] == 192.0
+        assert values["total die-area overhead (frac)"] == \
+            pytest.approx(0.0824, abs=0.0005)
+
+    def test_table1_tdram_is_the_only_full_column(self):
+        traits = TABLE1["tdram"]
+        assert traits.conditional_column_op
+        assert traits.tags_scale_with_data
+        assert traits.no_extra_hw
+        assert traits.low_hit_miss_latency
+        others = [t for key, t in TABLE1.items() if key != "tdram"]
+        assert not any(t.conditional_column_op for t in others)
+
+    def test_table1_renders(self):
+        text = table1_comparison().render()
+        assert "TDRAM" in text and "NDC" in text

@@ -1,0 +1,137 @@
+"""Tests for the closed-loop core model and progress bookkeeping."""
+
+import pytest
+
+from repro.cache.request import Op
+from repro.frontend.core_model import Core, Progress, build_cores
+from repro.sim.kernel import Simulator, ns
+
+
+class FakeSink:
+    """A sink with controllable latency and acceptance."""
+
+    def __init__(self, sim, latency_ns=50.0, accept=True):
+        self.sim = sim
+        self.latency = ns(latency_ns)
+        self.accept = accept
+        self.submitted = []
+
+    def can_accept(self, op, block):
+        return self.accept
+
+    def submit(self, request):
+        request.arrive_time = self.sim.now
+        self.submitted.append(request)
+        if request.op is Op.READ:
+            finish = self.sim.now + self.latency
+            self.sim.at(finish, lambda: request.complete(finish))
+
+
+def fixed_stream(records):
+    return iter(records)
+
+
+def reads(n, gap_ns=10):
+    return [(ns(gap_ns), Op.READ, i, 0) for i in range(n)]
+
+
+class TestCore:
+    def test_core_replays_all_demands(self):
+        sim = Simulator()
+        sink = FakeSink(sim)
+        progress = Progress(total_demands=5, warmup_fraction=0.0)
+        core = Core(sim, 0, fixed_stream(reads(5)), sink, 5, 8, progress)
+        core.start()
+        sim.run()
+        assert core.finished
+        assert len(sink.submitted) == 5
+        assert progress.all_done
+
+    def test_gaps_space_out_submissions(self):
+        sim = Simulator()
+        sink = FakeSink(sim, latency_ns=1.0)
+        progress = Progress(2, 0.0)
+        core = Core(sim, 0, fixed_stream(reads(2, gap_ns=100)), sink, 2, 8,
+                    progress)
+        core.start()
+        sim.run()
+        arrivals = [r.arrive_time for r in sink.submitted]
+        assert arrivals[1] - arrivals[0] >= ns(100)
+
+    def test_outstanding_read_limit_blocks_issue(self):
+        sim = Simulator()
+        sink = FakeSink(sim, latency_ns=1000.0)   # very slow reads
+        progress = Progress(4, 0.0)
+        core = Core(sim, 0, fixed_stream(reads(4, gap_ns=1)), sink, 4,
+                    max_outstanding_reads=2, progress=progress)
+        core.start()
+        sim.run(until=ns(500))
+        assert len(sink.submitted) == 2   # MLP-limited
+        sim.run()
+        assert len(sink.submitted) == 4
+        assert core.finished
+
+    def test_writes_do_not_block_on_mlp(self):
+        sim = Simulator()
+        sink = FakeSink(sim, latency_ns=10_000.0)
+        records = [(0, Op.READ, 0, 0)] + \
+                  [(0, Op.WRITE, i, 0) for i in range(1, 4)]
+        progress = Progress(4, 0.0)
+        core = Core(sim, 0, fixed_stream(records), sink, 4, 1, progress)
+        core.start()
+        sim.run(until=ns(100))
+        assert len(sink.submitted) == 4  # writes flowed past the slow read
+
+    def test_refused_demand_is_retried(self):
+        sim = Simulator()
+        sink = FakeSink(sim)
+        sink.accept = False
+        progress = Progress(1, 0.0)
+        core = Core(sim, 0, fixed_stream(reads(1, gap_ns=0)), sink, 1, 8,
+                    progress)
+        core.start()
+        sim.run(until=ns(100))
+        assert not sink.submitted
+        assert core.retries > 0
+        sink.accept = True
+        sim.run()
+        assert len(sink.submitted) == 1 and core.finished
+
+
+class TestProgress:
+    def test_warm_callback_fires_at_threshold(self):
+        sim = Simulator()
+        sink = FakeSink(sim, latency_ns=1.0)
+        cores, progress = build_cores(sim, sink, [fixed_stream(reads(10, 1))],
+                                      10, 8, warmup_fraction=0.5)
+        warm_at = []
+        progress.on_warm = lambda: warm_at.append(progress.submitted)
+        for core in cores:
+            core.start()
+        sim.run()
+        assert warm_at == [5]
+
+    def test_all_done_fires_once_per_run(self):
+        sim = Simulator()
+        sink = FakeSink(sim, latency_ns=1.0)
+        streams = [fixed_stream(reads(3, 1)), fixed_stream(reads(3, 1))]
+        cores, progress = build_cores(sim, sink, streams, 3, 8, 0.0)
+        done = []
+        progress.on_all_done = lambda: done.append(sim.now)
+        for core in cores:
+            core.start()
+        sim.run()
+        assert len(done) == 1
+        assert progress.all_done
+
+    def test_zero_warmup_threshold_fires_on_first_submit(self):
+        sim = Simulator()
+        sink = FakeSink(sim, latency_ns=1.0)
+        cores, progress = build_cores(sim, sink, [fixed_stream(reads(2, 1))],
+                                      2, 8, warmup_fraction=0.0)
+        fired = []
+        progress.on_warm = lambda: fired.append(True)
+        for core in cores:
+            core.start()
+        sim.run()
+        assert len(fired) == 1

@@ -1,0 +1,110 @@
+"""Behavioural tests for the Ideal cache and the no-cache baseline."""
+
+import pytest
+
+from repro.cache.cascade_lake import CascadeLakeCache
+from repro.cache.ideal import IdealCache
+from repro.cache.no_cache import NoCacheSystem
+from repro.cache.request import DemandRequest, Op
+
+
+class TestIdealCache:
+    def test_tag_check_is_free(self, make_system):
+        system = make_system(IdealCache)
+        request = system.read(5)
+        system.run()
+        assert request.tag_result_time == request.arrive_time
+        assert system.cache.metrics.tag_check.mean_ns == 0.0
+
+    def test_read_hit_still_costs_a_dram_access(self, make_system):
+        system = make_system(IdealCache)
+        system.cache.tags.install(5, dirty=False)
+        system.read(5)
+        system.run()
+        _r, finish = system.completed[0]
+        assert finish >= 30_000  # tRCD + tCL at minimum
+
+    def test_read_miss_fetches_immediately_without_cache_access(self, make_system):
+        system = make_system(IdealCache)
+        system.read(5)
+        system.run()
+        ledger = system.cache.metrics.ledger.by_category()
+        assert "tag_check_discard" not in ledger
+        assert system.main_memory.reads_issued == 1
+
+    def test_ideal_read_miss_faster_than_cascade_lake(self, make_system):
+        ideal = make_system(IdealCache)
+        ideal.read(5)
+        ideal.run()
+        cl = make_system(CascadeLakeCache)
+        cl.read(5)
+        cl.run()
+        assert ideal.completed[0][1] < cl.completed[0][1]
+
+    def test_write_never_reads_first(self, make_system):
+        system = make_system(IdealCache)
+        system.cache.tags.install(5, dirty=True)
+        system.write(5)
+        system.run()
+        ledger = system.cache.metrics.ledger.by_category()
+        assert set(ledger) == {"demand_write"}
+
+    def test_dirty_victim_still_read_out_for_writeback(self, make_system):
+        system = make_system(IdealCache)
+        victim = 5 + system.cache.tags.num_sets
+        system.cache.tags.install(victim, dirty=True)
+        system.write(5)
+        system.run()
+        ledger = system.cache.metrics.ledger.by_category()
+        assert ledger.get("victim_readout") == 64
+        assert system.main_memory.writes_issued == 1
+
+    def test_no_bandwidth_bloat_beyond_fills(self, make_system):
+        system = make_system(IdealCache)
+        system.cache.tags.install(0, dirty=False)
+        system.read(0)
+        system.write(9)
+        system.run()
+        assert system.cache.metrics.ledger.bloat_factor == 1.0
+
+
+class TestNoCacheSystem:
+    def test_reads_go_straight_to_main_memory(self, make_system):
+        system = make_system(NoCacheSystem)
+        system.read(5)
+        system.run()
+        assert system.main_memory.reads_issued == 1
+        assert len(system.completed) == 1
+
+    def test_writes_are_posted_to_main_memory(self, make_system):
+        system = make_system(NoCacheSystem)
+        system.write(5)
+        system.run()
+        assert system.main_memory.writes_issued == 1
+
+    def test_read_backpressure(self, make_system, tiny_config):
+        system = make_system(NoCacheSystem)
+        capacity = system.cache._read_capacity
+        for i in range(capacity):
+            request = DemandRequest(op=Op.READ, block_addr=i)
+            system.cache.submit(request)
+        assert not system.cache.can_accept(Op.READ, 0)
+        system.run()
+        assert system.cache.can_accept(Op.READ, 0)
+
+    def test_write_backpressure_bounded_by_mm_queues(self, make_system):
+        system = make_system(NoCacheSystem)
+        accepted = 0
+        while system.cache.can_accept(Op.WRITE, accepted) and accepted < 10_000:
+            system.cache.submit(DemandRequest(op=Op.WRITE, block_addr=accepted))
+            accepted += 1
+        assert accepted < 10_000  # back-pressure kicked in
+        system.run(100_000)
+        assert system.main_memory.writes_issued == accepted
+
+    def test_read_latency_recorded(self, make_system):
+        system = make_system(NoCacheSystem)
+        system.read(5)
+        system.run()
+        assert system.cache.metrics.read_latency.count == 1
+        assert system.cache.metrics.read_latency.mean_ns > 0

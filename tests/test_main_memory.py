@@ -1,0 +1,105 @@
+"""Unit tests for the DDR5 backing store model."""
+
+import pytest
+
+from repro.config.system import MIB, SystemConfig
+from repro.memory.main_memory import MainMemory
+from repro.sim.kernel import Simulator, ns
+
+
+def make_mm(channels=2):
+    sim = Simulator()
+    config = SystemConfig(cache_capacity_bytes=1 * MIB,
+                          mm_capacity_bytes=16 * MIB,
+                          mm_channels=channels)
+    mm = MainMemory(sim, config.mm_timing, config.mm_geometry())
+    return sim, mm
+
+
+class TestReads:
+    def test_unloaded_read_latency(self):
+        sim, mm = make_mm()
+        finishes = []
+        mm.read(0, finishes.append)
+        sim.run(until=ns(500))
+        assert len(finishes) == 1
+        # ACT + CAS + burst on an idle open-page channel: tRCD+tCL+tBURST.
+        assert finishes[0] == ns(16 + 16 + 2)
+
+    def test_row_hit_latency_is_cas_only(self):
+        sim, mm = make_mm()
+        finishes = []
+        mm.read(0, finishes.append)
+        sim.run(until=ns(200))
+        mm.read(1, finishes.append)  # same row (RoRaBaChCo: column+1)
+        start = sim.now
+        sim.run(until=ns(500))
+        assert finishes[1] - start == pytest.approx(ns(16 + 2) + 1000, abs=2000)
+
+    def test_reads_complete_in_arrival_order_same_bank(self):
+        sim, mm = make_mm()
+        finishes = []
+        for i in range(4):
+            mm.read(i, lambda t, i=i: finishes.append((i, t)))
+        sim.run(until=ns(2000))
+        assert [i for i, _t in finishes] == [0, 1, 2, 3]
+
+    def test_callbackless_read_allowed(self):
+        sim, mm = make_mm()
+        mm.read(0, None)
+        sim.run(until=ns(500))
+        assert mm.reads_issued == 1
+
+    def test_channel_interleaving(self):
+        _sim, mm = make_mm(channels=2)
+        # RoRaBaChCo: a row's worth of blocks per channel, then switch.
+        columns = mm.mapper.geometry.columns_per_row
+        assert mm.mapper.decode(0).channel == 0
+        assert mm.mapper.decode(columns).channel == 1
+
+
+class TestWrites:
+    def test_writes_drain_eventually(self):
+        sim, mm = make_mm()
+        for i in range(10):
+            mm.write(i)
+        sim.run(until=ns(5000))
+        assert mm.pending() == 0
+        assert mm.writes_issued == 10
+
+    def test_reads_prioritised_over_small_write_backlog(self):
+        sim, mm = make_mm()
+        for i in range(4):
+            mm.write(i * 64)
+        finishes = []
+        mm.read(4096, finishes.append)
+        sim.run(until=ns(3000))
+        assert finishes, "read never completed"
+        # The read completed while writes were still allowed to linger.
+        assert finishes[0] < ns(300)
+
+    def test_write_drain_watermark_engages(self):
+        sim, mm = make_mm(channels=2)
+        scheduler = mm._schedulers[0]
+        for i in range(scheduler.HIGH_WATERMARK + 4):
+            # All to channel 0: RoRaBaChCo keeps a row per channel.
+            mm.write(i * mm.mapper.geometry.columns_per_row * 2)
+        sim.run(until=ns(200))
+        assert scheduler.draining or len(scheduler.writes) < scheduler.HIGH_WATERMARK
+
+
+class TestStats:
+    def test_mean_read_latency_aggregates_channels(self):
+        sim, mm = make_mm()
+        done = []
+        mm.read(0, done.append)
+        mm.read(32, done.append)
+        sim.run(until=ns(1000))
+        assert mm.mean_read_latency_ns > 0
+
+    def test_queue_occupancy_sampled(self):
+        sim, mm = make_mm()
+        mm.read(0, None)
+        mm.write(64)
+        assert mm.queue_occupancy.samples == 2
+        assert mm.queue_occupancy.max_level >= 1

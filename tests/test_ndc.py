@@ -1,0 +1,91 @@
+"""Behavioural tests for NDC (Native DRAM Cache) — §VI differences."""
+
+import pytest
+
+from repro.cache.ndc import NdcCache
+from repro.cache.tdram import TdramCache
+from repro.dram.device import HM_PACKET_TIME
+from repro.sim.kernel import ns
+
+
+class TestNdcVsTdramDifferences:
+    def test_probing_is_forced_off(self, make_system):
+        system = make_system(NdcCache)
+        stride = (system.config.cache_channels
+                  * system.config.cache_banks_per_channel)
+        for i in range(12):
+            system.read(i * stride)
+        system.run()
+        assert system.cache.probe_engine.probes == 0
+
+    def test_hm_result_tied_to_column_operation(self, make_system):
+        """NDC's result appears during the column op, later than TDRAM's
+        activation-time compare (tRCD + tCCD_L + tHM_int = 16.5 ns)."""
+        system = make_system(NdcCache)
+        request = system.read(5)
+        system.run()
+        assert request.tag_result_time == ns(16.5) + HM_PACKET_TIME
+
+    def test_ndc_tag_result_later_than_tdram(self, make_system):
+        ndc = make_system(NdcCache)
+        r1 = ndc.read(5)
+        ndc.run()
+        tdram = make_system(TdramCache)
+        r2 = tdram.read(5)
+        tdram.run()
+        assert r1.tag_result_time > r2.tag_result_time
+
+    def test_no_opportunistic_unloads(self, make_system):
+        system = make_system(NdcCache)
+        assert system.cache.unload_on_refresh is False
+        assert system.cache.unload_on_read_miss_clean is False
+
+    def test_same_data_movement_as_tdram(self, make_system):
+        """Table IV: NDC and TDRAM move the same bytes per demand."""
+        def run(design):
+            system = make_system(design)
+            system.cache.tags.install(0, dirty=False)
+            system.read(0)        # hit
+            system.read(9)        # miss clean
+            system.write(17)      # write miss clean
+            system.run()
+            return (system.cache.metrics.ledger.useful_bytes,
+                    system.cache.metrics.ledger.total_bytes)
+
+        assert run(NdcCache) == run(TdramCache)
+
+    def test_column_op_always_executes(self, make_system):
+        """NDC pays the column operation even on a miss-clean (energy)."""
+        ndc = make_system(NdcCache)
+        ndc.read(5)
+        ndc.run()
+        tdram = make_system(TdramCache)
+        tdram.read(5)
+        tdram.run()
+        # Both fill via ActWr; NDC's ActRd adds one more column op.
+        assert ndc.cache.meter.ops["col_op"] == \
+            tdram.cache.meter.ops["col_op"] + 1
+
+
+class TestNdcVictimBuffer:
+    def test_res_drain_fires_at_threshold(self, make_system):
+        system = make_system(NdcCache, flush_buffer_entries=4)
+        sets = system.cache.tags.num_sets
+        for i in range(3):
+            block = 5 + i * 8
+            system.cache.tags.install(block + sets, dirty=True)
+            system.write(block)
+        system.run(3000)
+        assert system.cache.metrics.events["res_drain"] >= 1
+        assert system.cache.flush.events["unload_forced"] >= 2
+        # RES empties the buffer; inserts after it stay below threshold.
+        assert len(system.cache.flush) < system.cache.res_threshold
+        assert system.main_memory.writes_issued >= 2
+
+    def test_write_miss_dirty_uses_victim_buffer(self, make_system):
+        system = make_system(NdcCache)
+        victim = 5 + system.cache.tags.num_sets
+        system.cache.tags.install(victim, dirty=True)
+        system.write(5)
+        system.run(50)
+        assert system.cache.metrics.events["victim_to_flush_buffer"] == 1

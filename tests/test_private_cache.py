@@ -1,0 +1,123 @@
+"""Tests for the private-cache front-end filter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.request import Op
+from repro.errors import ConfigError
+from repro.frontend.private_cache import PrivateCache, filter_stream
+
+
+def small_cache(ways=2, sets=4):
+    return PrivateCache(capacity_bytes=ways * sets * 64, ways=ways)
+
+
+class TestAccessFiltering:
+    def test_cold_miss_fetches(self):
+        cache = small_cache()
+        demands = list(cache.access(0x1000, is_write=False))
+        assert demands == [(Op.READ, 0x1000 // 64)]
+        assert cache.misses == 1
+
+    def test_hit_is_silent(self):
+        cache = small_cache()
+        list(cache.access(0x1000, is_write=False))
+        assert list(cache.access(0x1000, is_write=False)) == []
+        assert cache.hits == 1
+
+    def test_same_block_different_bytes_hit(self):
+        cache = small_cache()
+        list(cache.access(0x1000, is_write=False))
+        assert list(cache.access(0x1003F, is_write=False)) != []  # other block
+        assert list(cache.access(0x1001, is_write=False)) == []   # same block
+
+    def test_write_miss_allocates(self):
+        cache = small_cache()
+        demands = list(cache.access(0x2000, is_write=True))
+        assert demands == [(Op.READ, 0x2000 // 64)]
+
+    def test_dirty_eviction_writes_back(self):
+        cache = small_cache(ways=1, sets=4)
+        list(cache.access(0, is_write=True))          # block 0, set 0, dirty
+        demands = list(cache.access(4 * 64, is_write=False))  # block 4, set 0
+        assert (Op.WRITE, 0) in demands
+        assert (Op.READ, 4) in demands
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_is_silent(self):
+        cache = small_cache(ways=1, sets=4)
+        list(cache.access(0, is_write=False))
+        demands = list(cache.access(4 * 64, is_write=False))
+        assert demands == [(Op.READ, 4)]
+
+    def test_lru_within_set(self):
+        cache = small_cache(ways=2, sets=1)
+        list(cache.access(0 * 64, is_write=False))
+        list(cache.access(1 * 64, is_write=False))
+        list(cache.access(0 * 64, is_write=False))   # touch 0
+        demands = list(cache.access(2 * 64, is_write=False))
+        assert demands == [(Op.READ, 2)]             # evicted 1 (clean)
+        assert list(cache.access(0 * 64, is_write=False)) == []  # 0 kept
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PrivateCache(capacity_bytes=0)
+        with pytest.raises(ConfigError):
+            PrivateCache(capacity_bytes=100, ways=3)
+        with pytest.raises(ConfigError):
+            small_cache().access(-1, False).__next__()
+
+    def test_hit_ratio(self):
+        cache = small_cache()
+        list(cache.access(0, False))
+        list(cache.access(0, False))
+        assert cache.hit_ratio == 0.5
+
+
+class TestFilterStream:
+    def test_produces_demand_records(self):
+        raw = [(0, False, 1000), (0, True, 500), (64 * 99, True, 700)]
+        records = list(filter_stream(raw, small_cache()))
+        assert records[0] == (1000, Op.READ, 0, 0)
+        # second access hits -> filtered; third misses.
+        assert records[1] == (700, Op.READ, 99, 0)
+
+    def test_writeback_precedes_fetch(self):
+        cache = small_cache(ways=1, sets=4)
+        raw = [(0, True, 100), (4 * 64, False, 100)]
+        records = list(filter_stream(raw, cache))
+        ops = [op for _g, op, _b, _p in records]
+        assert ops == [Op.READ, Op.WRITE, Op.READ]
+
+
+@settings(max_examples=40)
+@given(st.lists(st.tuples(st.integers(0, 64 * 256), st.booleans()),
+                max_size=200))
+def test_property_filter_preserves_dirty_data(accesses):
+    """Every dirtied block is either still resident (dirty) or was
+    written back — dirty data never vanishes."""
+    cache = PrivateCache(capacity_bytes=8 * 64, ways=2)
+    written_back = []
+    dirtied = set()
+    for byte_addr, is_write in accesses:
+        if is_write:
+            dirtied.add(byte_addr // 64)
+        for op, block in cache.access(byte_addr, is_write):
+            if op is Op.WRITE:
+                written_back.append(block)
+    resident_dirty = {
+        line.block for lines in cache._sets.values() for line in lines
+        if line.dirty
+    }
+    for block in dirtied:
+        assert block in resident_dirty or block in written_back
+
+
+@settings(max_examples=40)
+@given(st.lists(st.tuples(st.integers(0, 64 * 512), st.booleans()),
+                max_size=200))
+def test_property_occupancy_bounded(accesses):
+    cache = PrivateCache(capacity_bytes=16 * 64, ways=4)
+    for byte_addr, is_write in accesses:
+        list(cache.access(byte_addr, is_write))
+        assert cache.resident_lines() <= 16

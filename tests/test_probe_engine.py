@@ -1,0 +1,91 @@
+"""Unit tests for the early-tag-probing selection policy (§III-E2)."""
+
+from repro.cache.controller import CacheOp, OpKind
+from repro.cache.request import DemandRequest, Op
+from repro.core.probe import ProbeEngine
+from repro.dram.device import DramChannel
+from repro.dram.timing import hbm3_cache_timing, rldram_like_tag_timing
+from repro.sim.kernel import Simulator, ns
+
+
+def make_channel():
+    return DramChannel(Simulator(), hbm3_cache_timing(), 16, "p0",
+                       tag_timing=rldram_like_tag_timing(),
+                       enable_refresh=False)
+
+
+def read_op(block: int, bank: int) -> CacheOp:
+    demand = DemandRequest(op=Op.READ, block_addr=block)
+    return CacheOp(OpKind.ACT_RD, block, bank, 0, demand=demand)
+
+
+def write_op(block: int, bank: int) -> CacheOp:
+    demand = DemandRequest(op=Op.WRITE, block_addr=block)
+    return CacheOp(OpKind.ACT_WR, block, bank, 0, demand=demand)
+
+
+class TestSelectionPolicy:
+    def test_picks_youngest_eligible_read(self):
+        channel = make_channel()
+        channel.banks[0].block_until(ns(100))
+        channel.banks[1].block_until(ns(100))
+        queue = [read_op(0, 0), read_op(1, 1)]
+        engine = ProbeEngine()
+        selected = engine.select(channel, queue, 0)
+        assert selected is queue[-1]  # youngest first (§III-E2)
+
+    def test_skips_already_probed(self):
+        channel = make_channel()
+        channel.banks[0].block_until(ns(100))
+        channel.banks[1].block_until(ns(100))
+        queue = [read_op(0, 0), read_op(1, 1)]
+        queue[1].demand.probed = True
+        engine = ProbeEngine()
+        assert engine.select(channel, queue, 0) is queue[0]
+
+    def test_writes_are_not_probed(self):
+        """§III-E2: probe slots are focused on reads."""
+        channel = make_channel()
+        channel.banks[0].block_until(ns(100))
+        queue = [write_op(0, 0)]
+        assert ProbeEngine().select(channel, queue, 0) is None
+
+    def test_skips_next_in_line_for_a_soon_free_bank(self):
+        """The oldest waiter on a bank freeing within the probe hold is
+        not probed — that would conflict with its own MAIN command."""
+        channel = make_channel()
+        channel.banks[0].block_until(ns(5))  # frees inside tRC_TAG
+        queue = [read_op(0, 0)]
+        assert ProbeEngine().select(channel, queue, 0) is None
+
+    def test_probes_deeper_waiter_on_soon_free_bank(self):
+        channel = make_channel()
+        channel.banks[0].block_until(ns(5))
+        queue = [read_op(0, 0), read_op(64, 0)]  # two waiters, same bank
+        selected = ProbeEngine().select(channel, queue, 0)
+        assert selected is queue[1]  # the younger one cannot issue next
+
+    def test_respects_busy_tag_resources(self):
+        channel = make_channel()
+        channel.banks[0].block_until(ns(100))
+        channel.issue_probe(0, 0)  # tag bank 0 now busy for tRC_TAG
+        queue = [read_op(0, 0)]
+        engine = ProbeEngine()
+        assert engine.select(channel, queue, ns(2)) is None
+        assert engine.stats["blocked_slots"] >= 1
+
+    def test_empty_queue_selects_nothing(self):
+        assert ProbeEngine().select(make_channel(), [], 0) is None
+
+    def test_no_tag_path_selects_nothing(self):
+        channel = DramChannel(Simulator(), hbm3_cache_timing(), 16, "x",
+                              enable_refresh=False)
+        queue = [read_op(0, 0)]
+        assert ProbeEngine().select(channel, queue, 0) is None
+
+    def test_stats_accessors(self):
+        engine = ProbeEngine()
+        engine.record_issue()
+        engine.record_bank_conflict()
+        assert engine.probes == 1
+        assert engine.bank_conflicts == 1

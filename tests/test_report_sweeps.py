@@ -1,0 +1,106 @@
+"""Tests for result reporting (JSON/tables) and config sweeps."""
+
+import json
+
+import pytest
+
+from repro.config.system import MIB, SystemConfig
+from repro.errors import ConfigError
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweeps import config_sweep, mlp_sweep
+from repro.stats.report import (
+    breakdown_bar,
+    comparison_table,
+    result_to_dict,
+    results_to_json,
+)
+from repro.workloads import workload
+
+FAST = SystemConfig(cache_capacity_bytes=4 * MIB, mm_capacity_bytes=64 * MIB,
+                    cores=4)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return [
+        run_experiment(design, "bfs.22", FAST, demands_per_core=150, seed=5)
+        for design in ("cascade_lake", "tdram")
+    ]
+
+
+class TestJsonExport:
+    def test_single_result_roundtrips(self, results):
+        payload = json.loads(results_to_json(results[0]))
+        assert payload["design"] == "cascade_lake"
+        assert payload["runtime_ns"] > 0
+        assert isinstance(payload["breakdown"], dict)
+
+    def test_list_export(self, results):
+        payload = json.loads(results_to_json(results))
+        assert [p["design"] for p in payload] == ["cascade_lake", "tdram"]
+
+    def test_dict_has_every_dataclass_field(self, results):
+        payload = result_to_dict(results[0])
+        for field in ("tag_check_ns", "bloat_factor", "energy_pj",
+                      "miss_ratio", "flush_unloads"):
+            assert field in payload
+
+
+class TestComparisonTable:
+    def test_table_contains_designs_and_headers(self, results):
+        text = comparison_table(results)
+        assert "cascade_lake" in text and "tdram" in text
+        assert "tag(ns)" in text
+
+    def test_speedup_column(self, results):
+        text = comparison_table(results, baseline="cascade_lake")
+        assert "speedup_vs_cascade_lake" in text
+        assert "1.000" in text  # the baseline against itself
+
+    def test_unknown_baseline_rejected(self, results):
+        with pytest.raises(ValueError):
+            comparison_table(results, baseline="quantum")
+
+
+class TestBreakdownBar:
+    def test_bar_width_fixed(self):
+        bar = breakdown_bar({"read_hit": 0.5, "read_miss_clean": 0.5},
+                            width=20)
+        assert len(bar) == 20
+        assert bar.count("R") == 10 and bar.count("c") == 10
+
+    def test_empty_breakdown(self):
+        assert breakdown_bar({}, width=8) == " " * 8
+
+
+class TestSweeps:
+    def test_flush_size_sweep_runs(self):
+        result = config_sweep("flush_buffer_entries", [8, 32], config=FAST,
+                              specs=[workload("is.D")], baseline_design=None,
+                              demands_per_core=150, seed=5)
+        assert [row["flush_buffer_entries"] for row in result.rows] == [8, 32]
+        assert all(row["tag_check_ns"] > 0 for row in result.rows)
+
+    def test_mlp_sweep_speedup_monotone_enough(self):
+        result = mlp_sweep(values=(1, 8), config=FAST,
+                           specs=[workload("cg.C")],
+                           demands_per_core=150, seed=5)
+        rows = {row["max_outstanding_reads_per_core"]: row
+                for row in result.rows}
+        # More MLP never hurts the cache's advantage by much.
+        assert rows[8]["speedup_vs_no_cache"] > 0.5
+
+    def test_capacity_sweep_with_fixed_footprint(self):
+        result = config_sweep(
+            "cache_capacity_bytes", [2 * MIB, 8 * MIB], config=FAST,
+            specs=[workload("pr.25")], baseline_design=None,
+            demands_per_core=150, seed=5, hold_footprint=True,
+        )
+        rows = {row["cache_capacity_bytes"]: row for row in result.rows}
+        # Growing the cache against a fixed footprint lowers the miss ratio.
+        assert rows[8 * MIB]["mean_miss_ratio"] < \
+            rows[2 * MIB]["mean_miss_ratio"]
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigError):
+            config_sweep("warp_drive", [1], config=FAST)

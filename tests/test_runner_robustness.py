@@ -1,0 +1,104 @@
+"""Robustness paths: watchdogs, finite streams, fill-eviction races."""
+
+import pytest
+
+from repro.cache import DESIGNS
+from repro.cache.cascade_lake import CascadeLakeCache
+from repro.cache.metrics import CacheMetrics
+from repro.cache.request import Op
+from repro.config.system import MIB, SystemConfig
+from repro.errors import SimulationError
+from repro.experiments.runner import run_experiment
+from repro.frontend.core_model import Core, Progress
+from repro.sim.kernel import Simulator, ns
+
+FAST = SystemConfig(cache_capacity_bytes=4 * MIB, mm_capacity_bytes=64 * MIB,
+                    cores=2)
+
+
+class _BlackHole:
+    """Accepts reads, never answers them: a deadlocked memory system."""
+
+    design_name = "black_hole"
+
+    def __init__(self, sim, config, main_memory):
+        self.sim = sim
+        self.metrics = CacheMetrics()
+        self.meter = None
+
+    def can_accept(self, op, block):
+        return True
+
+    def submit(self, request):
+        request.arrive_time = self.sim.now  # ... and silence forever
+
+
+class TestWatchdog:
+    def test_no_forward_progress_raises(self):
+        DESIGNS["black_hole"] = _BlackHole
+        try:
+            with pytest.raises(SimulationError, match="no forward progress"):
+                run_experiment("black_hole", "cg.C", FAST,
+                               demands_per_core=50, seed=1)
+        finally:
+            del DESIGNS["black_hole"]
+
+
+class TestFiniteStreams:
+    def test_core_finishes_gracefully_when_stream_runs_dry(self):
+        sim = Simulator()
+
+        class Sink:
+            def can_accept(self, op, block):
+                return True
+
+            def submit(self, request):
+                request.arrive_time = sim.now
+                if request.op is Op.READ:
+                    sim.schedule(ns(10), lambda: request.complete(sim.now))
+
+        progress = Progress(total_demands=100, warmup_fraction=0.0)
+        short = iter([(0, Op.READ, i, 0) for i in range(5)])
+        core = Core(sim, 0, short, Sink(), demands=100,
+                    max_outstanding_reads=4, progress=progress)
+        core.start()
+        sim.run()
+        assert core.finished
+        assert core.issued == 5
+
+
+class TestFillEvictionRace:
+    def test_cl_fill_displacing_raced_dirty_write(self, make_system):
+        """A fill returning after a conflicting dirty write installed
+        must write the victim back, never silently drop it (the base
+        `_handle_fill_eviction` path). Forced white-box: the natural
+        window is a few nanoseconds wide."""
+        system = make_system(CascadeLakeCache)
+        conflicting = 5 + system.cache.tags.num_sets
+        system.write(conflicting)
+        system.run(1_000)
+        assert system.cache.tags.is_dirty(conflicting)
+        # A fetch for block 5 (same frame) now returns.
+        system.cache._mshrs[5] = []
+        system.cache._on_fetch_return(5, system.sim.now)
+        system.run(50_000)
+        assert system.cache.tags.contains(5)
+        ledger = system.cache.metrics.ledger.by_category()
+        # The displaced dirty line crossed the DQ bus and reached DDR5.
+        assert ledger.get("victim_readout", 0) >= 64
+        assert system.main_memory.writes_issued >= 1
+
+    def test_tdram_fill_eviction_race_uses_flush_buffer(self, make_system):
+        from repro.cache.tdram import TdramCache
+
+        system = make_system(TdramCache)
+        conflicting = 5 + system.cache.tags.num_sets
+        system.write(conflicting)
+        system.run(1_000)
+        system.cache._mshrs[5] = []
+        system.cache._on_fetch_return(5, system.sim.now)
+        system.run(100)
+        # The victim moved in-DRAM, not over the DQ bus.
+        assert system.cache.metrics.events["victim_to_flush_buffer"] >= 1
+        assert "victim_readout" not in \
+            system.cache.metrics.ledger.by_category()

@@ -1,0 +1,142 @@
+"""Unit tests for the event-driven simulation kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.kernel import PS_PER_NS, Simulator, ns, to_ns
+
+
+class TestTimeConversion:
+    def test_ns_converts_to_picoseconds(self):
+        assert ns(1) == 1000
+        assert ns(7.5) == 7500
+        assert ns(0.5) == 500
+
+    def test_to_ns_inverts_ns(self):
+        assert to_ns(ns(12.5)) == 12.5
+
+    def test_ps_per_ns_constant(self):
+        assert PS_PER_NS == 1000
+
+    @given(st.floats(min_value=0, max_value=1e6))
+    def test_roundtrip_within_half_picosecond(self, value):
+        assert abs(to_ns(ns(value)) - value) <= 0.0005
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(ns(30), lambda: fired.append("c"))
+        sim.schedule(ns(10), lambda: fired.append("a"))
+        sim.schedule(ns(20), lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(ns(5), lambda tag=tag: fired.append(tag))
+        sim.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(ns(42), lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [ns(42)]
+        assert sim.now == ns(42)
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        fired = []
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(ns(5), lambda: fired.append(("inner", sim.now)))
+        sim.schedule(ns(10), outer)
+        sim.run()
+        assert fired == [("outer", ns(10)), ("inner", ns(15))]
+
+    def test_at_schedules_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.at(ns(100), lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [ns(100)]
+
+    def test_scheduling_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(ns(10), lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(ns(5), lambda: None)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+
+class TestRunControls:
+    def test_run_until_leaves_later_events_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(ns(10), lambda: fired.append("early"))
+        sim.schedule(ns(100), lambda: fired.append("late"))
+        sim.run(until=ns(50))
+        assert fired == ["early"]
+        assert sim.pending() == 1
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_fast_forwards_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=ns(500))
+        assert sim.now == ns(500)
+
+    def test_max_events_limits_dispatch(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(ns(i + 1), lambda i=i: fired.append(i))
+        dispatched = sim.run(max_events=3)
+        assert dispatched == 3
+        assert fired == [0, 1, 2]
+
+    def test_stop_breaks_run_loop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(ns(1), lambda: (fired.append(1), sim.stop()))
+        sim.schedule(ns(2), lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+        assert sim.pending() == 1
+
+    def test_run_returns_dispatch_count(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(ns(i + 1), lambda: None)
+        assert sim.run() == 5
+
+    def test_reentrant_run_raises(self):
+        sim = Simulator()
+        def bad():
+            sim.run()
+        sim.schedule(ns(1), bad)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50))
+def test_property_dispatch_order_is_sorted(delays):
+    """Whatever the insertion order, dispatch times are nondecreasing."""
+    sim = Simulator()
+    seen = []
+    for delay in delays:
+        sim.schedule(delay, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)

@@ -1,0 +1,146 @@
+"""Unit tests for counters, latency stats, and the bandwidth ledger."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.metrics import BREAKDOWN_CATEGORIES, CacheMetrics, breakdown_category
+from repro.cache.request import Op, Outcome
+from repro.stats.bandwidth import BandwidthLedger
+from repro.stats.counters import CounterSet, LatencyStat, OccupancyStat
+
+
+class TestCounterSet:
+    def test_add_and_read(self):
+        c = CounterSet()
+        c.add("x")
+        c.add("x", 4)
+        assert c["x"] == 5
+        assert c["missing"] == 0
+
+    def test_total_and_reset(self):
+        c = CounterSet()
+        c.add("a", 2)
+        c.add("b", 3)
+        assert c.total(["a", "b", "zzz"]) == 5
+        c.reset()
+        assert c["a"] == 0
+
+    def test_as_dict_copies(self):
+        c = CounterSet()
+        c.add("a")
+        d = c.as_dict()
+        d["a"] = 99
+        assert c["a"] == 1
+
+
+class TestLatencyStat:
+    def test_mean_min_max(self):
+        stat = LatencyStat("x")
+        for value in (1000, 2000, 3000):
+            stat.record(value)
+        assert stat.mean_ns == 2.0
+        assert stat.min_ns == 1.0
+        assert stat.max_ns == 3.0
+        assert stat.count == 3
+
+    def test_empty_stat_reports_zero(self):
+        assert LatencyStat("x").mean_ns == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStat("x").record(-1)
+
+    def test_reset(self):
+        stat = LatencyStat("x")
+        stat.record(5000)
+        stat.reset()
+        assert stat.count == 0 and stat.mean_ns == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1))
+    def test_property_mean_bounded_by_extremes(self, values):
+        stat = LatencyStat("p")
+        for value in values:
+            stat.record(value)
+        assert stat.min_ns <= stat.mean_ns <= stat.max_ns
+
+
+class TestOccupancyStat:
+    def test_mean_and_max(self):
+        stat = OccupancyStat("q")
+        for level in (0, 5, 10):
+            stat.sample(level)
+        assert stat.mean_level == 5.0
+        assert stat.max_level == 10
+
+
+class TestBandwidthLedger:
+    def test_bloat_factor_definition(self):
+        ledger = BandwidthLedger()
+        ledger.move("hit_data", 64, useful=True)
+        ledger.move("tag_check_discard", 64, useful=False)
+        assert ledger.total_bytes == 128
+        assert ledger.bloat_factor == 2.0
+        assert ledger.unuseful_fraction == 0.5
+
+    def test_empty_ledger_has_bloat_one(self):
+        assert BandwidthLedger().bloat_factor == 1.0
+        assert BandwidthLedger().unuseful_fraction == 0.0
+
+    def test_move_split_tracks_overhead(self):
+        ledger = BandwidthLedger()
+        ledger.move_split("demand_write", 64, 16)  # Alloy 80 B burst
+        assert ledger.useful_bytes == 64
+        assert ledger.unuseful_bytes == 16
+        assert ledger.by_category()["demand_write_overhead"] == 16
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthLedger().move("x", -1, useful=True)
+
+    def test_reset(self):
+        ledger = BandwidthLedger()
+        ledger.move("a", 64, useful=True)
+        ledger.reset()
+        assert ledger.total_bytes == 0
+
+
+class TestCacheMetrics:
+    @pytest.mark.parametrize("op,outcome,expected", [
+        (Op.READ, Outcome.HIT_CLEAN, "read_hit"),
+        (Op.READ, Outcome.HIT_DIRTY, "read_hit"),
+        (Op.READ, Outcome.MISS_INVALID, "read_miss_clean"),
+        (Op.READ, Outcome.MISS_CLEAN, "read_miss_clean"),
+        (Op.READ, Outcome.MISS_DIRTY, "read_miss_dirty"),
+        (Op.WRITE, Outcome.HIT_CLEAN, "write_hit"),
+        (Op.WRITE, Outcome.MISS_CLEAN, "write_miss_clean"),
+        (Op.WRITE, Outcome.MISS_DIRTY, "write_miss_dirty"),
+    ])
+    def test_breakdown_category(self, op, outcome, expected):
+        assert breakdown_category(op, outcome) == expected
+
+    def test_breakdown_fractions_sum_to_one(self):
+        metrics = CacheMetrics()
+        metrics.record_outcome(Op.READ, Outcome.HIT_CLEAN)
+        metrics.record_outcome(Op.READ, Outcome.MISS_CLEAN)
+        metrics.record_outcome(Op.WRITE, Outcome.MISS_DIRTY)
+        metrics.record_outcome(Op.WRITE, Outcome.HIT_DIRTY)
+        assert abs(sum(metrics.breakdown().values()) - 1.0) < 1e-9
+        assert set(metrics.breakdown()) == set(BREAKDOWN_CATEGORIES)
+
+    def test_miss_ratios(self):
+        metrics = CacheMetrics()
+        metrics.record_outcome(Op.READ, Outcome.HIT_CLEAN)
+        metrics.record_outcome(Op.READ, Outcome.MISS_CLEAN)
+        metrics.record_outcome(Op.WRITE, Outcome.MISS_CLEAN)
+        assert metrics.miss_ratio == pytest.approx(2 / 3)
+        assert metrics.read_miss_ratio == pytest.approx(1 / 2)
+
+    def test_reset_clears_everything(self):
+        metrics = CacheMetrics()
+        metrics.record_outcome(Op.READ, Outcome.HIT_CLEAN)
+        metrics.tag_check.record(1000)
+        metrics.ledger.move("x", 64, useful=True)
+        metrics.reset()
+        assert metrics.demands == 0
+        assert metrics.tag_check.count == 0
+        assert metrics.ledger.total_bytes == 0

@@ -1,0 +1,180 @@
+"""Unit and property tests for the functional tag store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.request import Outcome
+from repro.cache.tagstore import TagStore
+from repro.errors import ConfigError
+
+
+class TestDirectMapped:
+    def make(self):
+        return TagStore(num_frames=64, ways=1)
+
+    def test_empty_store_misses_invalid(self):
+        store = self.make()
+        result = store.probe(5)
+        assert result.outcome is Outcome.MISS_INVALID
+        assert result.victim_block is None
+
+    def test_install_then_hit_clean(self):
+        store = self.make()
+        assert store.install(5, dirty=False) is None
+        assert store.probe(5).outcome is Outcome.HIT_CLEAN
+
+    def test_install_dirty_then_hit_dirty(self):
+        store = self.make()
+        store.install(5, dirty=True)
+        assert store.probe(5).outcome is Outcome.HIT_DIRTY
+        assert store.is_dirty(5)
+
+    def test_conflicting_block_sees_miss_clean(self):
+        store = self.make()
+        store.install(5, dirty=False)
+        result = store.probe(5 + 64)  # same frame, different tag
+        assert result.outcome is Outcome.MISS_CLEAN
+        assert result.victim_block == 5
+        assert result.victim_dirty is False
+
+    def test_conflicting_dirty_block_sees_miss_dirty(self):
+        store = self.make()
+        store.install(5, dirty=True)
+        result = store.probe(5 + 64)
+        assert result.outcome is Outcome.MISS_DIRTY
+        assert result.victim_dirty is True
+
+    def test_install_evicts_conflicting_line(self):
+        store = self.make()
+        store.install(5, dirty=True)
+        evicted = store.install(5 + 64, dirty=False)
+        assert evicted == (5, True)
+        assert not store.contains(5)
+        assert store.contains(5 + 64)
+
+    def test_rewrite_same_block_keeps_dirty(self):
+        store = self.make()
+        store.install(5, dirty=True)
+        assert store.install(5, dirty=False) is None
+        assert store.is_dirty(5)
+
+    def test_fill_installs_clean(self):
+        store = self.make()
+        assert store.fill(9) is None
+        assert store.probe(9).outcome is Outcome.HIT_CLEAN
+
+    def test_fill_dropped_when_block_already_present(self):
+        """A racing write must not be downgraded by a stale clean fill."""
+        store = self.make()
+        store.install(9, dirty=True)
+        assert store.fill(9) is None
+        assert store.is_dirty(9)
+
+    def test_fill_evicts_conflicting_line(self):
+        store = self.make()
+        store.install(9, dirty=True)
+        evicted = store.fill(9 + 64)
+        assert evicted == (9, True)
+
+    def test_invalidate(self):
+        store = self.make()
+        store.install(3, dirty=False)
+        assert store.invalidate(3)
+        assert not store.invalidate(3)
+        assert store.probe(3).outcome is Outcome.MISS_INVALID
+
+    def test_resident_blocks_counts(self):
+        store = self.make()
+        for block in range(10):
+            store.install(block, dirty=False)
+        assert store.resident_blocks() == 10
+
+
+class TestSetAssociative:
+    def test_ways_must_divide_frames(self):
+        with pytest.raises(ConfigError):
+            TagStore(num_frames=64, ways=3)
+
+    def test_ways_fill_before_eviction(self):
+        store = TagStore(num_frames=64, ways=4)  # 16 sets
+        blocks = [0, 16, 32, 48]  # all map to set 0
+        for block in blocks:
+            assert store.install(block, dirty=False) is None
+        for block in blocks:
+            assert store.contains(block)
+
+    def test_lru_eviction_order(self):
+        store = TagStore(num_frames=64, ways=2)  # 32 sets
+        store.install(0, dirty=False)
+        store.install(32, dirty=False)
+        store.probe(0)                     # touch 0 -> 32 becomes LRU
+        evicted = store.install(64, dirty=False)
+        assert evicted == (32, False)
+        assert store.contains(0)
+
+    def test_probe_without_touch_preserves_lru(self):
+        store = TagStore(num_frames=64, ways=2)
+        store.install(0, dirty=False)
+        store.install(32, dirty=False)
+        store.probe(0, touch=False)        # no LRU movement
+        evicted = store.install(64, dirty=False)
+        assert evicted == (0, False)
+
+    def test_victim_is_lru_way(self):
+        store = TagStore(num_frames=64, ways=2)
+        store.install(0, dirty=True)
+        store.install(32, dirty=False)
+        result = store.probe(64)
+        assert result.outcome is Outcome.MISS_DIRTY
+        assert result.victim_block == 0
+
+
+class TestBulkInstall:
+    def test_bulk_matches_sequential_install(self):
+        a = TagStore(num_frames=128, ways=1)
+        b = TagStore(num_frames=128, ways=1)
+        blocks = list(range(200))
+        dirty = [block % 3 == 0 for block in blocks]
+        for block, d in zip(blocks, dirty):
+            a.install(block, dirty=d)
+        b.bulk_install(blocks, dirty)
+        for block in blocks:
+            assert a.contains(block) == b.contains(block)
+            if a.contains(block):
+                assert a.is_dirty(block) == b.is_dirty(block)
+
+    def test_bulk_install_respects_capacity(self):
+        store = TagStore(num_frames=16, ways=1)
+        store.bulk_install(range(100), [False] * 100)
+        assert store.resident_blocks() <= 16
+
+
+@settings(max_examples=50)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["read", "write", "invalidate"]),
+                  st.integers(min_value=0, max_value=255)),
+        max_size=100,
+    ),
+    ways=st.sampled_from([1, 2, 4]),
+)
+def test_property_tagstore_invariants(ops, ways):
+    """Occupancy bounds and probe/contains consistency under any op mix."""
+    store = TagStore(num_frames=32, ways=ways)
+    for op, block in ops:
+        if op == "read":
+            result = store.probe(block)
+            assert result.outcome.is_hit == store.contains(block)
+            if not result.outcome.is_hit:
+                store.fill(block)
+        elif op == "write":
+            store.install(block, dirty=True)
+            assert store.is_dirty(block)
+        else:
+            store.invalidate(block)
+        assert store.resident_blocks() <= 32
+        # No set exceeds its associativity.
+        for lines in store._sets.values():
+            assert len(lines) <= ways
+            blocks = [line.block for line in lines]
+            assert len(set(blocks)) == len(blocks)  # no duplicates

@@ -1,0 +1,148 @@
+"""Tests for the workload suite: specs, generators, and their invariants."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.request import Op
+from repro.config.system import GIB, SystemConfig
+from repro.errors import WorkloadError
+from repro.workloads import (
+    MissClass,
+    WorkloadSpec,
+    demand_stream,
+    full_suite,
+    gapbs_spec,
+    miss_group,
+    npb_spec,
+    representative_suite,
+    suite_by_name,
+    uniform_spec,
+    workload,
+)
+
+CONFIG = SystemConfig.small()
+
+
+class TestSuiteDefinition:
+    def test_suite_has_28_workloads(self):
+        """§IV-B: 8 NPB kernels x {C,D} + 6 GAPBS kernels x {22,25}."""
+        assert len(full_suite()) == 28
+
+    def test_names_are_unique(self):
+        names = [spec.name for spec in full_suite()]
+        assert len(set(names)) == 28
+
+    def test_both_miss_groups_populated(self):
+        low = miss_group(group=MissClass.LOW)
+        high = miss_group(group=MissClass.HIGH)
+        assert len(low) + len(high) == 28
+        assert len(low) >= 10 and len(high) >= 10
+
+    def test_class_c_and_scale_22_are_low_miss(self):
+        for spec in full_suite():
+            if spec.variant in ("C", "22"):
+                assert spec.miss_class is MissClass.LOW, spec.name
+            else:
+                assert spec.miss_class is MissClass.HIGH, spec.name
+
+    def test_footprints_within_paper_range(self):
+        """§IV-B: memory footprints span 0.1-80 GiB."""
+        for spec in full_suite():
+            assert 0.05 * GIB <= spec.paper_footprint_bytes <= 80 * GIB
+
+    def test_lookup_by_name(self):
+        spec = workload("ft.D")
+        assert spec.kernel == "ft" and spec.variant == "D"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload("doom.E")
+
+    def test_representative_suite_spans_groups_and_suites(self):
+        specs = representative_suite()
+        assert {s.miss_class for s in specs} == {MissClass.LOW, MissClass.HIGH}
+        assert {s.suite for s in specs} == {"npb", "gapbs"}
+
+    def test_invalid_kernel_and_variant_rejected(self):
+        with pytest.raises(WorkloadError):
+            npb_spec("zz", "C")
+        with pytest.raises(WorkloadError):
+            npb_spec("ft", "E")
+        with pytest.raises(WorkloadError):
+            gapbs_spec("pr", "99")
+
+
+class TestSpecValidation:
+    def test_bad_read_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_spec(read_fraction=1.5)
+
+    def test_bad_sequential_run_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="x", suite="synthetic", kernel="x", variant="-",
+                         paper_footprint_bytes=GIB, read_fraction=0.5,
+                         hot_fraction=0.5, hot_probability=0.5,
+                         sequential_run=0.5, mean_gap_ns=10.0)
+
+
+@pytest.mark.parametrize("name", [s.name for s in representative_suite()])
+class TestStreams:
+    def test_records_are_well_formed(self, name):
+        spec = workload(name)
+        footprint = spec.footprint_blocks(CONFIG)
+        stream = demand_stream(spec, CONFIG, core_id=0, cores=8, seed=1)
+        for gap, op, block, pc in itertools.islice(stream, 500):
+            assert gap >= 0
+            assert op in (Op.READ, Op.WRITE)
+            assert 0 <= block < footprint
+            assert pc >= 0
+
+    def test_deterministic_for_same_seed(self, name):
+        spec = workload(name)
+        a = list(itertools.islice(
+            demand_stream(spec, CONFIG, 0, 8, seed=3), 200))
+        b = list(itertools.islice(
+            demand_stream(spec, CONFIG, 0, 8, seed=3), 200))
+        assert a == b
+
+    def test_different_seeds_differ(self, name):
+        spec = workload(name)
+        a = list(itertools.islice(demand_stream(spec, CONFIG, 0, 8, 3), 200))
+        b = list(itertools.islice(demand_stream(spec, CONFIG, 0, 8, 4), 200))
+        assert a != b
+
+    def test_cores_get_distinct_streams(self, name):
+        spec = workload(name)
+        a = list(itertools.islice(demand_stream(spec, CONFIG, 0, 8, 3), 200))
+        b = list(itertools.islice(demand_stream(spec, CONFIG, 1, 8, 3), 200))
+        assert a != b
+
+    def test_read_fraction_roughly_matches_spec(self, name):
+        spec = workload(name)
+        records = itertools.islice(
+            demand_stream(spec, CONFIG, 0, 8, seed=5), 3000)
+        reads = sum(1 for _g, op, _b, _p in records if op is Op.READ)
+        assert abs(reads / 3000 - spec.read_fraction) < 0.15
+
+    def test_mean_gap_roughly_matches_spec(self, name):
+        spec = workload(name)
+        records = list(itertools.islice(
+            demand_stream(spec, CONFIG, 0, 8, seed=5), 3000))
+        mean_gap_ns = sum(g for g, *_ in records) / len(records) / 1000
+        assert 0.4 * spec.mean_gap_ns <= mean_gap_ns <= 1.8 * spec.mean_gap_ns
+
+
+class TestFootprintScaling:
+    def test_scaled_footprint_preserves_capacity_ratio(self):
+        spec = workload("ft.D")
+        blocks = spec.footprint_blocks(CONFIG)
+        ratio = blocks * 64 / CONFIG.cache_capacity_bytes
+        paper_ratio = spec.paper_footprint_bytes / (8 * GIB)
+        assert ratio == pytest.approx(paper_ratio, rel=0.01)
+
+    def test_small_footprints_clamped_to_minimum(self):
+        spec = uniform_spec(footprint_gib=0.0001)
+        tiny = SystemConfig.small().with_(cache_capacity_bytes=1024 * 1024)
+        assert spec.footprint_blocks(tiny) >= 64
