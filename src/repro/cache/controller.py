@@ -95,8 +95,19 @@ class ChannelScheduler:
         self.kick()
 
     def push_write(self, op: CacheOp, forced: bool = False) -> None:
-        if not forced and len(self.write_q) >= self.write_capacity:
-            raise CapacityError(f"write buffer full on channel {self.index}")
+        """Append to the write queue, counting overflow backpressure.
+
+        Unforced overflow still raises :class:`CapacityError` (the
+        front end is expected to have checked :meth:`can_accept`), but
+        the rejection is now visible in the metrics; forced pushes past
+        capacity (fills, drains) are counted rather than silent.
+        """
+        if len(self.write_q) >= self.write_capacity:
+            events = self.controller.metrics.events
+            if not forced:
+                events.add("write_q_rejected")
+                raise CapacityError(f"write buffer full on channel {self.index}")
+            events.add("write_q_forced_over_capacity")
         self.write_q.append(op)
         self.kick()
 
@@ -205,6 +216,13 @@ class DramCacheController(abc.ABC):
             StridePrefetcher(degree=config.prefetch_degree)
             if config.use_prefetcher else None
         )
+        #: reliability subsystem (fault injection, ECC recovery,
+        #: scrubbing, degradation) — None unless config.ras.enabled
+        self.ras = None
+        if config.ras.enabled:
+            from repro.ras.manager import RasManager
+
+            self.ras = RasManager(self)
 
     # ------------------------------------------------------------------
     # Front-end interface
@@ -257,6 +275,10 @@ class DramCacheController(abc.ABC):
     # ------------------------------------------------------------------
     def _record_tag_result(self, demand: DemandRequest, time: int,
                            outcome: Outcome) -> None:
+        if self.ras is not None and self.has_tag_path:
+            # A corrupt HM result packet is detected by its packet ECC
+            # and retransferred; the recovered result lands later.
+            time += self.ras.hm_result_read()
         demand.tag_result_time = time
         demand.outcome = outcome
         self.metrics.record_outcome(demand.op, outcome)

@@ -8,21 +8,34 @@ Direct-mapped is the paper's primary configuration; ``ways > 1`` gives
 the set-associative variant of §V-F with LRU replacement inside a set.
 Only frames that have ever been touched are materialised (a dict), so a
 64 GiB cache costs memory proportional to the trace, not the device.
+
+When a RAS hook is attached (``SystemConfig.ras.enabled``), every line
+additionally carries the SECDED codeword the tag mats would store
+(§III-C3), every probe decodes it, and the hook decides recovery:
+corrected errors add a latency penalty, uncorrectable ones drop the
+line so the access degrades to a clean miss-and-refetch. Fused-off
+banks force misses and reject installs, so the controller keeps serving
+traffic at reduced capacity. Without a hook the store behaves exactly
+as before — the codeword fields are inert.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cache.request import Outcome
-from repro.errors import ConfigError
+from repro.errors import ConfigError, RasError
 
 
 @dataclass
 class _Line:
     block: int
     dirty: bool
+    #: stored SECDED codeword (meaningful only with a RAS hook attached)
+    codeword: int = 0
+    #: transient read-disturb overlay, XORed onto the next read
+    soft: int = 0
 
 
 @dataclass(frozen=True)
@@ -32,6 +45,8 @@ class LookupResult:
     outcome: Outcome
     victim_block: Optional[int] = None   #: conflicting resident block (on miss)
     victim_dirty: bool = False
+    #: added latency from ECC corrections/retries on this tag read (ps)
+    ecc_penalty_ps: int = 0
 
 
 class TagStore:
@@ -47,6 +62,14 @@ class TagStore:
         self.num_sets = num_frames // ways
         #: set index -> LRU-ordered lines (index 0 = LRU, last = MRU)
         self._sets: Dict[int, List[_Line]] = {}
+        #: RAS hook (repro.ras.manager.RasManager) — None = ECC disabled
+        self.ras = None
+        #: ways fused off by the degradation manager (never all of them)
+        self.disabled_ways = 0
+
+    @property
+    def available_ways(self) -> int:
+        return self.ways - self.disabled_ways
 
     def set_index(self, block: int) -> int:
         return block % self.num_sets
@@ -63,18 +86,43 @@ class TagStore:
     # ------------------------------------------------------------------
     def probe(self, block: int, touch: bool = True) -> LookupResult:
         """Look up ``block``; on a hit optionally refresh its LRU slot."""
+        ras = self.ras
+        if ras is not None and ras.block_disabled(block):
+            # The bank's tag mat is fused off: served as a forced miss.
+            return LookupResult(Outcome.MISS_INVALID)
         lines, line = self._find(block)
+        penalty = 0
+        if line is not None and ras is not None:
+            verdict = ras.on_tag_read(line, block)
+            if verdict is None:
+                # Uncorrectable after retries: the line is lost and the
+                # access degrades to a miss (clean refetch / counted
+                # data loss — the hook already accounted it).
+                lines.remove(line)
+                line = None
+            else:
+                penalty = verdict
         if line is not None:
             if touch:
                 lines.remove(line)
                 lines.append(line)
             outcome = Outcome.HIT_DIRTY if line.dirty else Outcome.HIT_CLEAN
-            return LookupResult(outcome)
-        if len(lines) < self.ways:
-            return LookupResult(Outcome.MISS_INVALID)
+            return LookupResult(outcome, ecc_penalty_ps=penalty)
+        if len(lines) < self.available_ways:
+            return LookupResult(Outcome.MISS_INVALID, ecc_penalty_ps=penalty)
         victim = lines[0]
+        if ras is not None:
+            # The set read also decoded the victim's tag word.
+            verdict = ras.on_tag_read(victim, victim.block)
+            if verdict is None:
+                lines.remove(victim)
+                return LookupResult(Outcome.MISS_INVALID,
+                                    ecc_penalty_ps=penalty)
+            penalty += verdict
         outcome = Outcome.MISS_DIRTY if victim.dirty else Outcome.MISS_CLEAN
-        return LookupResult(outcome, victim_block=victim.block, victim_dirty=victim.dirty)
+        return LookupResult(outcome, victim_block=victim.block,
+                            victim_dirty=victim.dirty,
+                            ecc_penalty_ps=penalty)
 
     def contains(self, block: int) -> bool:
         return self._find(block)[1] is not None
@@ -90,20 +138,42 @@ class TagStore:
         """Insert (or update) ``block``; returns the evicted (block, dirty).
 
         A resident block is updated in place (writes re-dirty it); an
-        absent block evicts the LRU way if the set is full.
+        absent block evicts the LRU way if the set is full. Installs
+        routed to a fused-off bank are rejected: dirty data is written
+        through to main memory by the RAS hook, clean fills are dropped.
         """
+        ras = self.ras
+        if ras is not None and ras.block_disabled(block):
+            if dirty:
+                ras.write_through(block)
+            else:
+                ras.dropped_fill()
+            return None
         lines, line = self._find(block)
         if line is not None:
             line.dirty = line.dirty or dirty
+            if ras is not None:
+                # Rewriting the word stores a fresh codeword (and clears
+                # any latent fault in the old one — counted so campaign
+                # books balance).
+                ras.note_rewrite(line)
+                line.codeword = ras.encode_line(block, line.dirty)
+                line.soft = 0
             lines.remove(line)
             lines.append(line)
             return None
         evicted: Optional[Tuple[int, bool]] = None
-        if len(lines) >= self.ways:
+        if len(lines) >= self.available_ways:
             victim = lines.pop(0)
             evicted = (victim.block, victim.dirty)
-        lines.append(_Line(block=block, dirty=dirty))
+        lines.append(self._new_line(block, dirty))
         return evicted
+
+    def _new_line(self, block: int, dirty: bool) -> _Line:
+        codeword = 0
+        if self.ras is not None:
+            codeword = self.ras.encode_line(block, dirty)
+        return _Line(block=block, dirty=dirty, codeword=codeword)
 
     def fill(self, block: int) -> Optional[Tuple[int, bool]]:
         """Install a clean copy fetched from main memory.
@@ -124,16 +194,20 @@ class TagStore:
         timed simulation starts. Later installs to a full set evict in
         arrival order.
         """
+        capacity = self.available_ways
         for block, dirty in zip(blocks, dirty_flags):
             lines = self._sets.setdefault(block % self.num_sets, [])
             for line in lines:
                 if line.block == block:
                     line.dirty = line.dirty or bool(dirty)
+                    if self.ras is not None:
+                        line.codeword = self.ras.encode_line(line.block,
+                                                             line.dirty)
                     break
             else:
-                if len(lines) >= self.ways:
+                if len(lines) >= capacity:
                     lines.pop(0)
-                lines.append(_Line(block=int(block), dirty=bool(dirty)))
+                lines.append(self._new_line(int(block), bool(dirty)))
 
     def invalidate(self, block: int) -> bool:
         """Drop ``block`` if resident; returns whether it was present."""
@@ -145,3 +219,36 @@ class TagStore:
 
     def resident_blocks(self) -> int:
         return sum(len(lines) for lines in self._sets.values())
+
+    # ------------------------------------------------------------------
+    # Degradation support (repro.ras.degrade)
+    # ------------------------------------------------------------------
+    def disable_way(self) -> List[Tuple[int, bool]]:
+        """Fuse off one way store-wide; returns the (block, dirty) lines
+        evicted when materialised sets shrink to the new capacity."""
+        if self.available_ways <= 1:
+            raise RasError("cannot disable the last remaining way")
+        self.disabled_ways += 1
+        capacity = self.available_ways
+        evicted: List[Tuple[int, bool]] = []
+        for lines in self._sets.values():
+            while len(lines) > capacity:
+                victim = lines.pop(0)
+                evicted.append((victim.block, victim.dirty))
+        return evicted
+
+    def evict_matching(
+        self, predicate: Callable[[int], bool]
+    ) -> List[Tuple[int, bool]]:
+        """Drop every resident line whose block satisfies ``predicate``
+        (bank fuse-off); returns the evicted (block, dirty) pairs."""
+        evicted: List[Tuple[int, bool]] = []
+        for lines in self._sets.values():
+            keep = [line for line in lines if not predicate(line.block)]
+            if len(keep) != len(lines):
+                evicted.extend(
+                    (line.block, line.dirty)
+                    for line in lines if predicate(line.block)
+                )
+                lines[:] = keep
+        return evicted

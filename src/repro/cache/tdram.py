@@ -28,6 +28,7 @@ from repro.cache.request import DemandRequest, Op, Outcome
 from repro.config.system import SystemConfig
 from repro.core.flush_buffer import FlushBuffer
 from repro.core.probe import ProbeEngine
+from repro.errors import CapacityError
 from repro.dram.bus import Direction
 from repro.memory.main_memory import MainMemory
 from repro.sim.kernel import Simulator, ns
@@ -47,6 +48,8 @@ class TdramCache(DramCacheController):
                  main_memory: MainMemory) -> None:
         super().__init__(sim, config, main_memory)
         self.flush = FlushBuffer(config.flush_buffer_entries)
+        if self.ras is not None:
+            self.ras.attach_flush(self.flush)
         self.probe_engine = ProbeEngine()
         self.enable_probing = config.enable_probing
         opportunistic = config.flush_unload_policy == "opportunistic"
@@ -81,7 +84,13 @@ class TdramCache(DramCacheController):
         self.flush.remove(request.block_addr)
         op = CacheOp(OpKind.ACT_WR, request.block_addr, bank,
                      self.sim.now, demand=request)
-        self.schedulers[channel_idx].push_write(op)
+        try:
+            self.schedulers[channel_idx].push_write(op)
+        except CapacityError:
+            # Racing acceptance checks can overfill; absorb the demand
+            # with counted backpressure rather than dropping it.
+            self.metrics.events.add("write_backpressure_forced")
+            self.schedulers[channel_idx].push_write(op, forced=True)
 
     def _serve_from_flush_buffer(self, channel_idx: int,
                                  request: DemandRequest) -> None:
@@ -150,6 +159,11 @@ class TdramCache(DramCacheController):
         )
         assert grant.hm_at is not None and grant.data_end is not None
         hm_at, data_start, data_end = grant.hm_at, grant.data_start, grant.data_end
+        # ECC corrections/retries on the tag read delay both the HM
+        # result and the gated data (§III-C3's on-die correction path).
+        if result.ecc_penalty_ps:
+            hm_at += result.ecc_penalty_ps
+            data_end += result.ecc_penalty_ps
         already_recorded = demand.tag_result_time >= 0
         if not already_recorded:
             self._record_tag_result(demand, hm_at, outcome)
@@ -216,7 +230,8 @@ class TdramCache(DramCacheController):
         demand = op.demand
         assert demand is not None
         result = self.tags.probe(demand.block_addr, touch=False)
-        self._record_tag_result(demand, grant.hm_at, result.outcome)
+        self._record_tag_result(demand, grant.hm_at + result.ecc_penalty_ps,
+                                result.outcome)
         self.metrics.ledger.move("demand_write", 64, useful=True)
         evicted = self.tags.install(demand.block_addr, dirty=True)
         if evicted is not None and evicted[1]:
@@ -314,7 +329,7 @@ class TdramCache(DramCacheController):
             return
         result = self.tags.probe(demand.block_addr, touch=False)
         outcome = result.outcome
-        self._record_tag_result(demand, time, outcome)
+        self._record_tag_result(demand, time + result.ecc_penalty_ps, outcome)
         scheduler = self.schedulers[channel_idx]
         if outcome.is_hit:
             self.metrics.events.add("probe_hit")

@@ -24,6 +24,7 @@ from repro.dram.timing import (
 )
 from repro.energy.power_model import EnergyModel
 from repro.errors import ConfigError
+from repro.ras.config import RasConfig
 
 GIB = 1024 ** 3
 MIB = 1024 ** 2
@@ -74,6 +75,8 @@ class SystemConfig:
     # -- methodology --
     warmup_fraction: float = 0.2
     energy_model: EnergyModel = field(default_factory=EnergyModel)
+    # -- reliability (fault campaigns; disabled by default) --
+    ras: RasConfig = field(default_factory=RasConfig)
 
     def __post_init__(self) -> None:
         if self.cache_capacity_bytes <= 0 or self.mm_capacity_bytes <= 0:

@@ -84,6 +84,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--demands", type=int, default=600,
                         help="work quantum per core (default 600)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--ras-mode", default="single",
+                        choices=("random", "single", "double"),
+                        help="fault campaign for 'ras' (default single)")
+    parser.add_argument("--ras-rate", type=float, default=0.5,
+                        help="per-tick injection probability (default 0.5)")
     return parser
 
 
@@ -92,7 +97,7 @@ def main(argv=None) -> int:
     target = args.target.lower()
     if target == "list":
         names = sorted(list(_CONTEXT_FIGURES) + list(_STANDALONE)
-                       + ["run", "report", "selfcheck", "suite",
+                       + ["ras", "run", "report", "selfcheck", "suite",
                           "trace-capture", "trace-stats"])
         print("available targets:", ", ".join(names))
         return 0
@@ -140,6 +145,25 @@ def main(argv=None) -> int:
               f"writes: {stats.writes}")
         print(f"footprint: {stats.footprint_bytes / 2**20:.1f} MiB  "
               f"mean gap: {stats.mean_gap_ns:.1f} ns")
+        return 0
+    if target == "ras":
+        from repro.ras.config import RasConfig
+        from repro.stats.report import ras_report
+
+        if len(args.args) > 2:
+            print("usage: tdram-repro ras [DESIGN] [WORKLOAD]",
+                  file=sys.stderr)
+            return 2
+        design = args.args[0] if len(args.args) > 0 else "tdram"
+        workload_name = args.args[1] if len(args.args) > 1 else "bfs.22"
+        campaign = RasConfig.campaign(args.seed, mode=args.ras_mode,
+                                      rate=args.ras_rate)
+        config = SystemConfig.small().with_(cache_ways=4, ras=campaign)
+        result = run_experiment(design, workload_name, config=config,
+                                demands_per_core=args.demands, seed=args.seed)
+        print(f"# {design}/{workload_name} campaign={args.ras_mode} "
+              f"rate={args.ras_rate} seed={args.seed}")
+        print(ras_report(result.ras))
         return 0
     if target == "run":
         if len(args.args) != 2:

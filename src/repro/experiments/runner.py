@@ -65,6 +65,8 @@ class RunResult:
     flush_unloads: Dict[str, int] = field(default_factory=dict)
     writebacks: int = 0
     events: Dict[str, int] = field(default_factory=dict)
+    #: RAS campaign counters + degradation state (empty when disabled)
+    ras: Dict[str, int] = field(default_factory=dict)
 
     @property
     def runtime_ns(self) -> float:
@@ -222,6 +224,9 @@ def _run(
             for name in flush.events.names()
             if name.startswith("unload_")
         }
+    ras = getattr(sink, "ras", None)
+    if ras is not None:
+        result.ras = ras.snapshot()
     return result
 
 

@@ -1,0 +1,42 @@
+"""Reliability, availability, and serviceability (RAS) subsystem.
+
+Threads runtime fault tolerance through the whole reproduction: live
+SECDED codewords on every tag-store line, a deterministic seeded fault
+injector, ECC-driven recovery with bounded retry, a patrol scrubber,
+and graceful way/bank degradation. See ``docs/ras.md``.
+
+Only :class:`RasConfig` is imported eagerly — ``config.system`` embeds
+it, and the operational classes reach back into cache/core modules, so
+loading them here would close an import cycle. They resolve lazily on
+first attribute access instead.
+"""
+
+from repro.ras.config import RasConfig
+
+__all__ = [
+    "RasConfig",
+    "RasManager",
+    "FaultInjector",
+    "PatrolScrubber",
+    "DegradationManager",
+    "TagEccEngine",
+    "effective_capacity_fraction",
+]
+
+_LAZY = {
+    "RasManager": "repro.ras.manager",
+    "FaultInjector": "repro.ras.faults",
+    "PatrolScrubber": "repro.ras.scrubber",
+    "DegradationManager": "repro.ras.degrade",
+    "effective_capacity_fraction": "repro.ras.degrade",
+    "TagEccEngine": "repro.ras.tag_ecc",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

@@ -1,0 +1,117 @@
+"""RAS campaign configuration.
+
+One frozen dataclass describes a full reliability campaign: how often
+and where the :class:`~repro.ras.faults.FaultInjector` flips bits, how
+the ECC-aware tag path retries and penalises corrections, how the
+patrol scrubber paces itself, and when the
+:class:`~repro.ras.degrade.DegradationManager` fuses off a way or a
+bank. The defaults model a quiet system (``enabled=False``, all rates
+zero); ``RasConfig.campaign()`` builds the aggressive configurations
+the ``tdram-repro ras`` subcommand uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.errors import ConfigError
+
+#: Fault-injection targeting modes.
+MODES = ("random", "single", "double")
+
+
+@dataclass(frozen=True)
+class RasConfig:
+    """Reliability subsystem configuration (one fault campaign)."""
+
+    enabled: bool = False
+    #: seed for the injector's private RNG (campaigns are bit-for-bit
+    #: reproducible for a fixed seed)
+    seed: int = 1
+    # -- fault injection --
+    #: injector tick period; each tick draws one Bernoulli per target
+    inject_interval_ns: float = 200.0
+    tag_fault_rate: float = 0.0     #: per-tick P(flip bits in a live tag codeword)
+    hm_fault_rate: float = 0.0      #: per-tick P(corrupt the next HM result packet)
+    flush_fault_rate: float = 0.0   #: per-tick P(corrupt a flush-buffer entry)
+    #: "single" flips exactly one codeword bit (always correctable),
+    #: "double" flips two bits in a clean line (always uncorrectable),
+    #: "random" mixes single flips, bursts, and transient faults
+    mode: str = "random"
+    burst_probability: float = 0.1  #: random mode: P(a fault is a burst)
+    burst_length: int = 2           #: bits flipped by one burst fault
+    #: random mode: fraction of tag faults that are read-disturb events
+    #: (visible on one read, cured by the retry re-read)
+    transient_fraction: float = 0.25
+    #: optional per-bank rate weighting (index = bank id modulo length);
+    #: empty = uniform
+    bank_rate_multipliers: Tuple[float, ...] = ()
+    # -- recovery --
+    retry_limit: int = 2            #: bounded re-reads after DETECTED
+    corrected_penalty_ns: float = 2.0   #: added latency per corrected read
+    retry_penalty_ns: float = 15.0      #: added latency per re-read attempt
+    hm_retry_penalty_ns: float = 8.25   #: HM packet retransfer (tHM + packet)
+    #: raise RetryExhaustedError instead of degrading (debug aid)
+    strict: bool = False
+    # -- patrol scrubbing --
+    scrub_interval_ns: float = 1950.0   #: one scrub batch per interval
+    scrub_lines_per_pass: int = 16      #: tag lines decoded per batch
+    # -- degradation --
+    way_fault_threshold: int = 4    #: store-wide uncorrectables per disabled way
+    bank_fault_threshold: int = 16  #: per-bank uncorrectables before fuse-off
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigError(f"ras mode {self.mode!r} not in {MODES}")
+        for name in ("tag_fault_rate", "hm_fault_rate", "flush_fault_rate",
+                     "burst_probability", "transient_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name}={value} must be in [0, 1]")
+        if self.inject_interval_ns <= 0:
+            raise ConfigError("inject_interval_ns must be positive")
+        if self.retry_limit < 1:
+            raise ConfigError("retry_limit must be >= 1")
+        if self.burst_length < 1:
+            raise ConfigError("burst_length must be >= 1")
+        if self.scrub_interval_ns <= 0 or self.scrub_lines_per_pass < 1:
+            raise ConfigError("scrub interval and batch must be positive")
+        if self.way_fault_threshold < 1 or self.bank_fault_threshold < 1:
+            raise ConfigError("degradation thresholds must be >= 1")
+        if any(m < 0 for m in self.bank_rate_multipliers):
+            raise ConfigError("bank_rate_multipliers must be non-negative")
+
+    def with_(self, **changes) -> "RasConfig":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def campaign(cls, seed: int, mode: str = "single",
+                 rate: float = 0.5) -> "RasConfig":
+        """An aggressive campaign for the ``tdram-repro ras`` command.
+
+        ``single`` exercises the correction path (every fault must be
+        corrected or scrubbed); ``double`` exercises retry exhaustion,
+        refetch, and degradation, so its thresholds are lowered to make
+        way/bank fuse-off observable in a short run.
+
+        Campaign scrubbing is deliberately far more aggressive than the
+        quiet-system default (which paces one refresh-window-sized batch
+        per interval): a short accelerated run must sweep the entire
+        resident set, so every injected fault meets either the demand
+        ECC path or the scrubber before the simulation ends.
+        """
+        return cls(
+            enabled=True,
+            seed=seed,
+            mode=mode,
+            tag_fault_rate=rate,
+            hm_fault_rate=rate / 4,
+            flush_fault_rate=rate / 4,
+            transient_fraction=0.25 if mode == "random" else 0.0,
+            scrub_interval_ns=100.0,
+            scrub_lines_per_pass=1024,
+            way_fault_threshold=2 if mode == "double" else 4,
+            bank_fault_threshold=8 if mode == "double" else 16,
+        )

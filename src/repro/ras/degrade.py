@@ -1,0 +1,120 @@
+"""Graceful capacity degradation after repeated uncorrectable errors.
+
+Two fuse-off granularities, mirroring how a tag-enhanced DRAM would
+respond to a failing tag mat (§III-C3's BIST finds them at boot; this
+manager handles the ones that develop in the field):
+
+* **way degradation** — uncorrectable errors spread across the store
+  indicate marginal cells rather than one bad mat: every
+  ``way_fault_threshold`` of them permanently disables one way of the
+  set-associative tag store (never the last one), shrinking effective
+  associativity while every set keeps serving traffic. The surviving
+  configuration still uses TDRAM's in-DRAM comparators, so the latency
+  overhead stays zero (:func:`repro.core.ways.in_dram_way_select`).
+* **bank degradation** — errors concentrating in one (channel, bank)
+  indicate a failing mat: past ``bank_fault_threshold`` the bank is
+  fused off. Resident dirty lines are written back first (their data is
+  still readable — only the *tag* mat is failing), then every demand
+  routed there becomes a forced miss served from main memory and fills
+  are dropped, i.e. the bank's share of capacity bypasses the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Set, Tuple
+
+from repro.core.ways import WaySelectModel, in_dram_way_select
+from repro.errors import RasError
+from repro.stats.counters import RasCounters
+
+
+def effective_capacity_fraction(ways: int, disabled_ways: int) -> float:
+    """Capacity remaining after ``disabled_ways`` ways are fused off."""
+    if ways < 1 or not 0 <= disabled_ways < ways:
+        raise RasError(
+            f"cannot disable {disabled_ways} of {ways} ways "
+            "(at least one must survive)"
+        )
+    return (ways - disabled_ways) / ways
+
+
+class DegradationManager:
+    """Tracks uncorrectable-error pressure and fuses off ways/banks."""
+
+    def __init__(
+        self,
+        tags,                                  # TagStore (duck-typed)
+        counters: RasCounters,
+        route: Callable[[int], Tuple[int, int]],
+        way_fault_threshold: int,
+        bank_fault_threshold: int,
+        writeback: Callable[[int], None],
+        total_banks: int = 1,
+    ) -> None:
+        self.tags = tags
+        self.counters = counters
+        self.route = route
+        self.way_fault_threshold = way_fault_threshold
+        self.bank_fault_threshold = bank_fault_threshold
+        self.writeback = writeback
+        self.total_banks = max(1, total_banks)
+        self.dead_banks: Set[Tuple[int, int]] = set()
+        self.bank_faults: Dict[Tuple[int, int], int] = {}
+        self._store_faults = 0
+
+    # ------------------------------------------------------------------
+    def block_disabled(self, block: int) -> bool:
+        """Whether ``block`` routes to a fused-off bank."""
+        return bool(self.dead_banks) and self.route(block) in self.dead_banks
+
+    def record_uncorrectable(self, block: int) -> None:
+        """One post-retry uncorrectable error attributed to ``block``."""
+        bank = self.route(block)
+        if bank not in self.dead_banks:
+            count = self.bank_faults.get(bank, 0) + 1
+            self.bank_faults[bank] = count
+            if count >= self.bank_fault_threshold:
+                self._disable_bank(bank)
+                return
+        self._store_faults += 1
+        if self._store_faults >= self.way_fault_threshold:
+            self._store_faults = 0
+            if self.tags.available_ways > 1:
+                self._disable_way()
+            elif bank not in self.dead_banks:
+                # Direct-mapped (or fully degraded) stores cannot shed a
+                # way; escalate to the offending bank instead.
+                self._disable_bank(bank)
+
+    # ------------------------------------------------------------------
+    def _disable_way(self) -> None:
+        evicted = self.tags.disable_way()
+        self.counters.add("degraded_ways")
+        for block, dirty in evicted:
+            self.counters.add("degraded_evictions")
+            if dirty:
+                # Data mats are healthy; drain the victim cleanly.
+                self.counters.add("degraded_writebacks")
+                self.writeback(block)
+
+    def _disable_bank(self, bank: Tuple[int, int]) -> None:
+        self.dead_banks.add(bank)
+        self.counters.add("degraded_banks")
+        for block, dirty in self.tags.evict_matching(
+                lambda b: self.route(b) == bank):
+            self.counters.add("degraded_evictions")
+            if dirty:
+                self.counters.add("degraded_writebacks")
+                self.writeback(block)
+
+    # ------------------------------------------------------------------
+    def capacity_fraction(self) -> float:
+        """Surviving capacity: way shrink x healthy-bank fraction."""
+        way_part = effective_capacity_fraction(self.tags.ways,
+                                               self.tags.disabled_ways)
+        bank_part = (self.total_banks - len(self.dead_banks)) / self.total_banks
+        return way_part * bank_part
+
+    def surviving_way_model(self) -> WaySelectModel:
+        """§V-F model of the remaining in-DRAM comparators."""
+        return in_dram_way_select(max(1, self.tags.available_ways))

@@ -1,0 +1,184 @@
+"""Deterministic, seeded in-path fault injector.
+
+Every ``inject_interval_ns`` the injector wakes on the simulator and
+draws one Bernoulli trial per configured target:
+
+* **tag store** — flip bits in the stored (or, for transient
+  read-disturb faults, the next-read-sampled) SECDED codeword of a
+  random live line. ``single`` mode only targets currently-clean
+  codewords so independent faults never pair into an artificial double;
+  ``double`` mode flips two bits of a *clean* (non-dirty) line — the
+  always-uncorrectable campaign of the acceptance tests.
+* **HM bus** — arm a one-shot corruption of the next result packet the
+  controller receives; packet ECC detects it and the retransfer costs a
+  counted retry penalty (the result itself is recovered, never trusted
+  corrupt).
+* **flush buffer** — mark a buffered victim's entry; single-bit marks
+  are corrected at unload, multi-bit marks destroy the entry (a counted
+  data-loss, the writeback is dropped).
+
+All randomness flows from one private ``random.Random(seed)``, so a
+campaign is bit-for-bit reproducible for a fixed seed and workload.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, List, Optional, Tuple
+
+from repro.ras.config import RasConfig
+from repro.ras.tag_ecc import TagEccEngine
+from repro.sim.kernel import Simulator, ns
+from repro.stats.counters import RasCounters
+
+#: Bounded redraws when a target must satisfy a predicate (clean
+#: codeword, non-dirty line, bank weighting); giving up just skips one
+#: tick's injection.
+_MAX_DRAWS = 8
+
+
+class FaultInjector:
+    """Seeded bit-flip campaign scheduled on the simulation kernel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: RasConfig,
+        tags,                                   # TagStore (duck-typed)
+        engine: TagEccEngine,
+        counters: RasCounters,
+        route: Callable[[int], Tuple[int, int]],
+        arm_hm_fault: Callable[[], None],
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.tags = tags
+        self.engine = engine
+        self.counters = counters
+        self.route = route
+        self.arm_hm_fault = arm_hm_fault
+        self.flush = None          #: attached later for designs that have one
+        self.rng = random.Random(config.seed)
+        self._interval = ns(config.inject_interval_ns)
+        self._set_keys: List[int] = []
+        #: ring of recently tag-read blocks — the *targeted* single and
+        #: double modes flip bits in lines that demand traffic is
+        #: actually touching, so injected faults meet the ECC path
+        #: within the campaign instead of rotting in cold sets.
+        #: Duplicates are deliberate: hotter blocks are drawn more often.
+        self.recent: deque = deque(maxlen=64)
+
+    def note_read(self, block: int) -> None:
+        """Record a demand tag read (fed by the RAS manager)."""
+        self.recent.append(block)
+
+    def start(self) -> None:
+        self.sim.schedule(self._interval, self._tick)
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        config = self.config
+        if config.tag_fault_rate and self.rng.random() < config.tag_fault_rate:
+            self._inject_tag()
+        if config.hm_fault_rate and self.rng.random() < config.hm_fault_rate:
+            self.counters.add("injected_hm")
+            self.arm_hm_fault()
+        if (config.flush_fault_rate and self.flush is not None
+                and len(self.flush)
+                and self.rng.random() < config.flush_fault_rate):
+            self._inject_flush()
+        self.sim.schedule(self._interval, self._tick)
+
+    # ------------------------------------------------------------------
+    def _pick_line(self, want_clean_word: bool, want_clean_line: bool,
+                   targeted: bool = False):
+        """Draw a live line, honouring mode/bank constraints.
+
+        Targeted draws come from the recently-read ring first (hot
+        lines get re-read, so the fault is observed); the random scan
+        over materialised sets is the fallback.
+        """
+        if targeted and self.recent:
+            for _ in range(_MAX_DRAWS):
+                block = self.recent[self.rng.randrange(len(self.recent))]
+                line = self.tags._find(block)[1]
+                if line is None:
+                    continue
+                if want_clean_line and line.dirty:
+                    continue
+                if want_clean_word and not self.engine.is_clean(line.codeword):
+                    continue
+                if not self._bank_accepts(line.block):
+                    continue
+                return line
+        sets = self.tags._sets
+        if len(self._set_keys) != len(sets):
+            self._set_keys = list(sets.keys())
+        if not self._set_keys:
+            return None
+        for _ in range(_MAX_DRAWS):
+            key = self._set_keys[self.rng.randrange(len(self._set_keys))]
+            lines = sets.get(key)
+            if not lines:
+                continue
+            line = lines[self.rng.randrange(len(lines))]
+            if want_clean_line and line.dirty:
+                continue
+            if want_clean_word and not self.engine.is_clean(line.codeword):
+                continue
+            if not self._bank_accepts(line.block):
+                continue
+            return line
+        return None
+
+    def _bank_accepts(self, block: int) -> bool:
+        multipliers = self.config.bank_rate_multipliers
+        if not multipliers:
+            return True
+        _channel, bank = self.route(block)
+        weight = multipliers[bank % len(multipliers)]
+        return self.rng.random() < min(1.0, weight)
+
+    def _inject_tag(self) -> None:
+        config = self.config
+        mode = config.mode
+        if mode == "single":
+            flips, transient = 1, False
+            line = self._pick_line(want_clean_word=True, want_clean_line=False,
+                                   targeted=True)
+        elif mode == "double":
+            flips, transient = 2, False
+            line = self._pick_line(want_clean_word=True, want_clean_line=True,
+                                   targeted=True)
+        else:
+            burst = self.rng.random() < config.burst_probability
+            flips = config.burst_length if burst else 1
+            transient = (not burst
+                         and self.rng.random() < config.transient_fraction)
+            line = self._pick_line(want_clean_word=False,
+                                   want_clean_line=False)
+        if line is None:
+            return
+        mask = 0
+        positions = self.rng.sample(range(self.engine.code.codeword_bits),
+                                    min(flips, self.engine.code.codeword_bits))
+        for bit in positions:
+            mask |= 1 << bit
+        if transient:
+            line.soft ^= mask
+            self.counters.add("injected_transient")
+        else:
+            line.codeword ^= mask
+        self.counters.add("injected_tag")
+        self.counters.add("injected_tag_bits", len(positions))
+
+    def _inject_flush(self) -> None:
+        assert self.flush is not None
+        index = self.rng.randrange(len(self.flush))
+        bits = 2 if self.config.mode == "double" else 1
+        if self.config.mode == "random":
+            bits = (self.config.burst_length
+                    if self.rng.random() < self.config.burst_probability else 1)
+        self.flush.inject_fault(index, bits)
+        self.counters.add("injected_flush")

@@ -1,0 +1,183 @@
+"""RAS manager: wires ECC, injection, scrubbing, and degradation into a
+cache controller.
+
+One :class:`RasManager` is owned by a
+:class:`~repro.cache.controller.DramCacheController` when
+``SystemConfig.ras.enabled`` is set. It is the tag store's ECC hook
+(:meth:`encode_line` / :meth:`on_tag_read` / :meth:`block_disabled`),
+the consumer of HM-bus packet faults, and the owner of the scheduled
+:class:`~repro.ras.faults.FaultInjector` and
+:class:`~repro.ras.scrubber.PatrolScrubber`.
+
+Recovery policy for an uncorrectable tag word (§III-C3 extended to
+runtime faults): re-read up to ``retry_limit`` times — transient
+read-disturb faults clear, so retries genuinely succeed — then degrade:
+a clean line is invalidated and the demand falls through to a normal
+miss-and-refetch from main memory; a dirty line's only copy is gone, a
+counted ``tag_data_loss`` (or, in strict mode, a raised
+:class:`~repro.errors.RetryExhaustedError`). Either way the
+degradation manager accumulates the event toward way/bank fuse-off and
+the run continues at reduced capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.ecc import EccOutcome
+from repro.errors import RetryExhaustedError
+from repro.ras.config import RasConfig
+from repro.ras.degrade import DegradationManager
+from repro.ras.faults import FaultInjector
+from repro.ras.scrubber import PatrolScrubber
+from repro.ras.tag_ecc import TagEccEngine
+from repro.sim.kernel import ns
+from repro.stats.counters import RasCounters
+
+
+class RasManager:
+    """Reliability subsystem of one DRAM-cache controller."""
+
+    def __init__(self, controller) -> None:
+        self.controller = controller
+        self.config: RasConfig = controller.config.ras
+        self.counters = RasCounters()
+        tags = controller.tags
+        self.engine = TagEccEngine(tags.num_sets)
+        geometry = controller.config.cache_geometry()
+        self.degrade = DegradationManager(
+            tags,
+            self.counters,
+            controller.route,
+            self.config.way_fault_threshold,
+            self.config.bank_fault_threshold,
+            controller._writeback,
+            total_banks=geometry.channels * geometry.banks_per_channel,
+        )
+        self.injector = FaultInjector(
+            controller.sim, self.config, tags, self.engine, self.counters,
+            controller.route, self.arm_hm_fault,
+        )
+        self.scrubber = PatrolScrubber(
+            controller.sim, self.config, tags, self.engine, self.counters,
+            self.degrade,
+        )
+        self._pending_hm_faults = 0
+        self._corrected_penalty = ns(self.config.corrected_penalty_ns)
+        self._retry_penalty = ns(self.config.retry_penalty_ns)
+        self._hm_retry_penalty = ns(self.config.hm_retry_penalty_ns)
+        tags.ras = self
+        self.injector.start()
+        self.scrubber.start()
+
+    # ------------------------------------------------------------------
+    # Tag-store hook interface
+    # ------------------------------------------------------------------
+    def encode_line(self, block: int, dirty: bool) -> int:
+        return self.engine.encode_line(block, dirty)
+
+    def block_disabled(self, block: int) -> bool:
+        return self.degrade.block_disabled(block)
+
+    def on_tag_read(self, line, block: int) -> Optional[int]:
+        """Decode one live tag read; returns added latency (ps).
+
+        ``None`` means the word was uncorrectable after every retry and
+        the caller must drop the line (the tag store converts that into
+        a miss, which refetches the block from main memory).
+        """
+        self.counters.add("tag_reads_checked")
+        self.injector.note_read(block)
+        raw = line.codeword ^ line.soft
+        line.soft = 0  # a read-disturb event is sampled exactly once
+        result = self.engine.decode(raw)
+        if result.outcome is EccOutcome.CLEAN:
+            return 0
+        if result.outcome is EccOutcome.CORRECTED:
+            self.counters.add("tag_corrected")
+            self.counters.add("corrected_penalty_ps", self._corrected_penalty)
+            return self._corrected_penalty
+        # DETECTED: bounded re-reads of the stored word.
+        self.counters.add("tag_detected")
+        penalty = 0
+        for _attempt in range(self.config.retry_limit):
+            self.counters.add("tag_retries")
+            penalty += self._retry_penalty
+            self.counters.add("retry_penalty_ps", self._retry_penalty)
+            result = self.engine.decode(line.codeword)
+            if result.outcome is not EccOutcome.DETECTED:
+                self.counters.add("tag_retry_success")
+                if result.outcome is EccOutcome.CORRECTED:
+                    self.counters.add("tag_corrected")
+                    penalty += self._corrected_penalty
+                    self.counters.add("corrected_penalty_ps",
+                                      self._corrected_penalty)
+                return penalty
+        # Exhausted: degrade gracefully (or crash loudly in strict mode).
+        self.counters.add("tag_retry_exhausted")
+        self.counters.add("tag_uncorrectable")
+        if line.dirty:
+            if self.config.strict:
+                raise RetryExhaustedError(
+                    f"uncorrectable tag word for dirty block {block:#x} "
+                    f"after {self.config.retry_limit} retries"
+                )
+            self.counters.add("tag_data_loss")
+        else:
+            self.counters.add("tag_clean_refetch")
+        self.degrade.record_uncorrectable(block)
+        return None
+
+    def note_rewrite(self, line) -> None:
+        """A write is about to store a fresh codeword over ``line``.
+
+        If the old word carried a latent fault, the rewrite silently
+        cured it; count that so a campaign's books balance (injected =
+        corrected + scrubbed + uncorrectable + rewrite-cleared +
+        still-latent)."""
+        if line.soft or not self.engine.is_clean(line.codeword):
+            self.counters.add("tag_rewrite_cleared")
+
+    def write_through(self, block: int) -> None:
+        """A dirty install hit a fused-off bank: bypass to main memory."""
+        self.counters.add("write_through_degraded")
+        self.controller._writeback(block)
+
+    def dropped_fill(self) -> None:
+        self.counters.add("dropped_fill_degraded")
+
+    # ------------------------------------------------------------------
+    # HM-bus packet faults
+    # ------------------------------------------------------------------
+    def arm_hm_fault(self) -> None:
+        self._pending_hm_faults += 1
+
+    def hm_result_read(self) -> int:
+        """Called when a controller consumes one HM result packet.
+
+        A corrupt packet is detected by its own ECC and retransferred;
+        the recovered result is what the caller uses, delayed by the
+        returned penalty.
+        """
+        if self._pending_hm_faults == 0:
+            return 0
+        self._pending_hm_faults -= 1
+        self.counters.add("hm_packet_errors")
+        self.counters.add("hm_retries")
+        self.counters.add("retry_penalty_ps", self._hm_retry_penalty)
+        return self._hm_retry_penalty
+
+    # ------------------------------------------------------------------
+    def attach_flush(self, flush) -> None:
+        """Give the injector a flush buffer and route its ECC counters."""
+        self.injector.flush = flush
+        flush.ras_counters = self.counters
+
+    def snapshot(self) -> Dict[str, int]:
+        """All RAS counters plus derived capacity state (for dumps)."""
+        data = self.counters.as_dict()
+        data["effective_ways"] = self.controller.tags.available_ways
+        data["dead_banks"] = len(self.degrade.dead_banks)
+        data["capacity_fraction_pct"] = int(
+            round(self.degrade.capacity_fraction() * 100))
+        return data

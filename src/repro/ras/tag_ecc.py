@@ -1,0 +1,57 @@
+"""SECDED engine for live tag-store codewords.
+
+Bridges the analytic :mod:`repro.core.ecc` model and the functional
+:class:`~repro.cache.tagstore.TagStore`: every resident line carries the
+codeword the tag mats would store for its 16-bit architectural word
+(14-bit tag + valid + dirty, §III-C3), and every tag read decodes it.
+
+Encode and decode are memoised — the word space is 16 bits and a run
+only ever sees a handful of distinct corrupted codewords, so the live
+ECC path adds dictionary lookups, not Hamming arithmetic, to the
+simulator's hot loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.ecc import EccResult, SecdedCode, tag_ecc_code
+
+TAG_MASK = (1 << 14) - 1
+
+
+class TagEccEngine:
+    """Encodes/decodes the per-line tag words of one tag store."""
+
+    def __init__(self, num_sets: int) -> None:
+        self.code: SecdedCode = tag_ecc_code()
+        self.num_sets = num_sets
+        self._encode_memo: Dict[int, int] = {}
+        self._decode_memo: Dict[int, EccResult] = {}
+
+    def line_word(self, block: int, dirty: bool) -> int:
+        """The 16-bit stored word: [tag(14) | valid | dirty]."""
+        tag = (block // self.num_sets) & TAG_MASK
+        return (tag << 2) | 0b10 | int(dirty)
+
+    def encode_line(self, block: int, dirty: bool) -> int:
+        """SECDED codeword for a (re)written line."""
+        word = self.line_word(block, dirty)
+        codeword = self._encode_memo.get(word)
+        if codeword is None:
+            codeword = self.code.encode(word)
+            self._encode_memo[word] = codeword
+        return codeword
+
+    def decode(self, codeword: int) -> EccResult:
+        """Decode a (possibly corrupted) stored codeword."""
+        result = self._decode_memo.get(codeword)
+        if result is None:
+            result = self.code.decode(codeword)
+            self._decode_memo[codeword] = result
+        return result
+
+    def is_clean(self, codeword: int) -> bool:
+        from repro.core.ecc import EccOutcome
+
+        return self.decode(codeword).outcome is EccOutcome.CLEAN

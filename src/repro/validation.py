@@ -106,6 +106,38 @@ def run_selfcheck(
     def _trc():
         return timing.tRC == ns(42), f"tRC = {timing.tRC / 1000:.0f} ns"
 
+    @check("patrol scrub batch fits one refresh window (tag banks idle)")
+    def _scrub():
+        from repro.ras.config import RasConfig
+
+        config = RasConfig()
+        batch = config.scrub_lines_per_pass * tag.tRC_TAG
+        return batch <= timing.tRFC, (
+            f"{config.scrub_lines_per_pass} lines x "
+            f"tRC_TAG = {batch / 1000:.0f} ns vs "
+            f"tRFC = {timing.tRFC / 1000:.0f} ns")
+
+    @check("RAS retry bound gives every DETECTED word a second read")
+    def _retry():
+        from repro.ras.config import RasConfig
+
+        limits = [RasConfig().retry_limit]
+        limits += [RasConfig.campaign(1, mode).retry_limit
+                   for mode in ("random", "single", "double")]
+        return min(limits) >= 1, f"retry limits = {limits}"
+
+    @check("degraded-way capacity math consistent with way-select model")
+    def _degraded():
+        from repro.core.ways import in_dram_way_select
+        from repro.ras.degrade import effective_capacity_fraction
+
+        fraction = effective_capacity_fraction(4, 1)
+        survivors = in_dram_way_select(3)
+        ok = (abs(fraction - 0.75) < 1e-9
+              and survivors.total_latency_overhead == 0)
+        return ok, (f"3/4 ways -> {fraction:.0%} capacity, "
+                    f"+{survivors.total_latency_overhead} ps latency")
+
     results = []
     for name, fn in checks:
         try:

@@ -66,6 +66,40 @@ class TestEncodeDecode:
             result = code.decode(code.inject(clean, (a, b)))
             assert result.outcome is EccOutcome.DETECTED, (a, b)
 
+
+class TestTagCodewordExhaustive:
+    """Exhaustive guarantees over the 22-bit tag codeword (§III-C3).
+
+    These are the properties the RAS subsystem leans on: a single-bit
+    fault in a live tag word is *always* corrected with the data intact,
+    and any two-bit fault is *always* detected (never silently decodes
+    to a wrong word). Sweeps cover every bit position / position pair
+    for a spread of tag words, including the paper's tag layout
+    (14-bit tag | valid | dirty) corner patterns.
+    """
+
+    WORDS = (0x0000, 0xFFFF, 0xA3C5, 0x5A5A, 0x0001, 0x8000,
+             (0x2FF3 << 2) | 0b11, (0x0001 << 2) | 0b10)
+
+    def test_all_single_flips_all_words_corrected(self):
+        code = tag_ecc_code()
+        for data in self.WORDS:
+            clean = code.encode(data)
+            for bit in range(code.codeword_bits):
+                result = code.decode(code.inject(clean, (bit,)))
+                assert result.outcome is EccOutcome.CORRECTED, (data, bit)
+                assert result.data == data, (data, bit)
+
+    def test_all_double_flips_all_words_detected(self):
+        code = tag_ecc_code()
+        pairs = list(itertools.combinations(range(code.codeword_bits), 2))
+        assert len(pairs) == 231  # C(22, 2)
+        for data in self.WORDS:
+            clean = code.encode(data)
+            for pair in pairs:
+                result = code.decode(code.inject(clean, pair))
+                assert result.outcome is EccOutcome.DETECTED, (data, pair)
+
     def test_inject_validates_positions(self):
         code = tag_ecc_code()
         with pytest.raises(ConfigError):
