@@ -1,0 +1,136 @@
+"""Campaign engine benchmark: serial vs parallel wall clock.
+
+Runs the same designs x workloads batch twice — ``jobs=1`` and
+``jobs=N`` — verifies the results are bit-identical, and records wall
+clock and simulator throughput (dispatched cache events per second) to
+``BENCH_campaign.json``: the perf trajectory's first datapoint.
+
+Run standalone (the CI campaign job does)::
+
+    python benchmarks/bench_campaign.py --jobs 4
+    python benchmarks/bench_campaign.py --jobs 2 --demands 150 \
+        --workloads lu.C,bfs.22 --out BENCH_campaign.json
+
+or through pytest (``pytest benchmarks/bench_campaign.py -s``), which
+uses a reduced work quantum.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.config.system import SystemConfig
+from repro.experiments.campaign import run_campaign, tasks_for
+from repro.workloads.suite import representative_suite, workload
+
+
+def _total_events(results) -> int:
+    return sum(result.sim_events for result in results)
+
+
+def bench_campaign(
+    jobs: int = 4,
+    designs: Optional[List[str]] = None,
+    workloads: Optional[List[str]] = None,
+    demands: int = 300,
+    seed: int = 7,
+    out: Optional[str] = "BENCH_campaign.json",
+) -> dict:
+    """Measure serial-vs-parallel campaign wall clock; write ``out``."""
+    designs = designs or ["tdram", "cascade_lake"]
+    specs = ([workload(name) for name in workloads] if workloads
+             else representative_suite())
+    config = SystemConfig.small()
+    tasks = tasks_for(designs, specs, config=config, demands_per_core=demands,
+                      seeds=[seed])
+
+    serial = run_campaign(tasks, jobs=1)
+    parallel = run_campaign(tasks, jobs=jobs)
+
+    identical = all(
+        dataclasses.asdict(a) == dataclasses.asdict(b)
+        for a, b in zip(serial.results, parallel.results)
+    )
+    events = _total_events(serial.results)
+    record = {
+        "bench": "campaign",
+        "cpu_count": os.cpu_count(),
+        "designs": designs,
+        "workloads": [spec.name for spec in specs],
+        "demands_per_core": demands,
+        "seed": seed,
+        "tasks": len(tasks),
+        "total_events": events,
+        "serial": {
+            "wall_s": round(serial.wall_s, 3),
+            "events_per_sec": round(events / serial.wall_s)
+            if serial.wall_s else 0,
+        },
+        "parallel": {
+            "jobs": jobs,
+            "wall_s": round(parallel.wall_s, 3),
+            "events_per_sec": round(events / parallel.wall_s)
+            if parallel.wall_s else 0,
+        },
+        "speedup": round(serial.wall_s / parallel.wall_s, 3)
+        if parallel.wall_s else 0.0,
+        "bit_identical": identical,
+    }
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=1, sort_keys=True)
+    return record
+
+
+def test_bench_campaign(tmp_path):
+    """Pytest entry: tiny quantum, asserts parallel == serial."""
+    out = tmp_path / "BENCH_campaign.json"
+    record = bench_campaign(jobs=2, workloads=["cg.C", "bfs.22"],
+                            demands=60, out=str(out))
+    print()
+    print(json.dumps(record, indent=1, sort_keys=True))
+    assert record["bit_identical"]
+    assert record["tasks"] == 4
+    assert json.loads(out.read_text()) == record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--designs", default=None,
+                        help="comma-separated (default tdram,cascade_lake)")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated (default representative suite)")
+    parser.add_argument("--demands", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_campaign.json")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit nonzero if parallel speedup is below "
+                             "this bound")
+    args = parser.parse_args(argv)
+    record = bench_campaign(
+        jobs=args.jobs,
+        designs=args.designs.split(",") if args.designs else None,
+        workloads=args.workloads.split(",") if args.workloads else None,
+        demands=args.demands,
+        seed=args.seed,
+        out=args.out,
+    )
+    print(json.dumps(record, indent=1, sort_keys=True))
+    if not record["bit_identical"]:
+        print("FAIL: parallel results differ from serial", file=sys.stderr)
+        return 1
+    if args.min_speedup and record["speedup"] < args.min_speedup:
+        print(f"FAIL: speedup {record['speedup']} < {args.min_speedup}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

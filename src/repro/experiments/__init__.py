@@ -1,13 +1,27 @@
-"""Experiment harness: runner, figures, studies, sweeps, CLI."""
+"""Experiment harness: runner, campaign engine, figures, sweeps, CLI."""
 
+from repro.experiments.campaign import (
+    CampaignOutcome,
+    CampaignTask,
+    ResultCache,
+    cache_key,
+    run_campaign,
+    tasks_for,
+)
 from repro.experiments.runner import RunResult, run_experiment, run_matrix
 from repro.experiments.sweeps import channel_sweep, config_sweep, mlp_sweep
 
 __all__ = [
+    "CampaignOutcome",
+    "CampaignTask",
+    "ResultCache",
     "RunResult",
-    "run_experiment",
-    "run_matrix",
+    "cache_key",
     "channel_sweep",
     "config_sweep",
     "mlp_sweep",
+    "run_campaign",
+    "run_experiment",
+    "run_matrix",
+    "tasks_for",
 ]

@@ -18,8 +18,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.config.system import SystemConfig
+from repro.experiments.campaign import CampaignTask, run_campaign
 from repro.experiments.figures import ExperimentContext, FigureResult, geomean
-from repro.experiments.runner import run_experiment
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.suite import representative_suite
 
@@ -38,21 +38,38 @@ def tdram_ablation(
     specs: Optional[List[WorkloadSpec]] = None,
     demands_per_core: int = 500,
     seed: int = 7,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
 ) -> FigureResult:
-    """Run every ablation variant and report geomean deltas vs full."""
+    """Run every ablation variant and report geomean deltas vs full.
+
+    The variants x workloads matrix runs as one campaign: ``jobs`` fans
+    it out over worker processes, ``cache`` persists the results (each
+    variant's modified ``SystemConfig`` is part of the cache key).
+    """
     config = config or SystemConfig.small()
     specs = specs if specs is not None else representative_suite()
+    variant_tasks: Dict[str, List[CampaignTask]] = {
+        variant: [
+            CampaignTask(design="tdram", workload=spec,
+                         config=config.with_(**overrides),
+                         demands_per_core=demands_per_core, seed=seed)
+            for spec in specs
+        ]
+        for variant, overrides in ABLATION_VARIANTS.items()
+    }
+    all_tasks = [task for tasks in variant_tasks.values() for task in tasks]
+    outcome = run_campaign(all_tasks, jobs=jobs, cache=cache,
+                           progress=progress)
     per_variant: Dict[str, Dict[str, float]] = {}
-    for variant, overrides in ABLATION_VARIANTS.items():
+    for variant, tasks in variant_tasks.items():
         runtimes = []
         tag_checks = []
         queue_delays = []
         forced = 0
-        for spec in specs:
-            result = run_experiment(
-                "tdram", spec, config=config.with_(**overrides),
-                demands_per_core=demands_per_core, seed=seed,
-            )
+        for task in tasks:
+            result = outcome.by_key[task.key]
             runtimes.append(result.runtime_ps)
             tag_checks.append(result.tag_check_ns)
             queue_delays.append(result.queue_delay_ns)

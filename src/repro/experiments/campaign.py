@@ -1,0 +1,424 @@
+"""Parallel campaign engine with a content-addressed on-disk cache.
+
+The paper's evaluation is a 28-workload x 7-design sweep (§IV); every
+figure, sweep, and ablation is ultimately a batch of independent
+``(design, workload, seed)`` simulations. This module turns such a
+batch into a *campaign*:
+
+* each run is a :class:`CampaignTask`, identified by a stable
+  content-addressed :func:`cache_key` over everything that determines
+  its outcome (design, workload spec, full :class:`SystemConfig`,
+  work quantum, seed);
+* :func:`run_campaign` fans tasks out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs`` workers)
+  with bounded retry on worker crashes and live progress/ETA
+  callbacks — results are bit-identical to the serial path because
+  every simulation is seeded explicitly per task;
+* a :class:`ResultCache` persists each :class:`RunResult` as JSON
+  under its key, so re-running a figure or a sweep only simulates
+  what changed (``tdram-repro campaign --resume`` completes with zero
+  new simulations when nothing did).
+
+The engine is deliberately dependency-free: tasks and results are
+plain dataclasses, keys are SHA-256 hexdigests, and the cache is a
+directory of small JSON files safe to rsync or commit to CI artifact
+storage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.config.system import SystemConfig
+from repro.errors import SimulationError
+from repro.experiments.runner import RunResult, run_experiment
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.suite import workload as lookup_workload
+
+#: Bump to invalidate every existing cache entry (simulator behaviour
+#: changes that alter results without touching any key ingredient).
+CACHE_VERSION = 1
+
+#: ``progress(done, total, label, source, eta_s)`` — ``source`` is one
+#: of "cached", "simulated", "retried", or "failed"; ``eta_s`` is the
+#: estimated remaining wall-clock (None until one simulation finished).
+ProgressFn = Callable[[int, int, str, str, Optional[float]], None]
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed keys
+# ---------------------------------------------------------------------------
+def _canonical(value):
+    """Reduce any config/spec value to a canonical JSON-able form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            spec.name: _canonical(getattr(value, spec.name))
+            for spec in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def cache_key(
+    design: str,
+    spec: Union[WorkloadSpec, str],
+    config: SystemConfig,
+    demands_per_core: int,
+    seed: int,
+) -> str:
+    """Stable SHA-256 key over everything that determines a RunResult.
+
+    Two invocations share a key iff they would produce bit-identical
+    results: the key covers the design, the *full* workload spec (not
+    just its name), every ``SystemConfig`` field (timings, energy
+    model, RAS campaign, geometry), the work quantum, the seed, and
+    :data:`CACHE_VERSION`.
+    """
+    if isinstance(spec, str):
+        spec = lookup_workload(spec)
+    payload = {
+        "v": CACHE_VERSION,
+        "design": design,
+        "workload": _canonical(spec),
+        "config": _canonical(config),
+        "demands_per_core": demands_per_core,
+        "seed": seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Tasks
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignTask:
+    """One fully-specified simulation: ``(design, workload, seed)``
+    under a given configuration and work quantum."""
+
+    design: str
+    workload: WorkloadSpec
+    config: SystemConfig
+    demands_per_core: int = 600
+    seed: int = 7
+
+    @property
+    def key(self) -> str:
+        return cache_key(self.design, self.workload, self.config,
+                         self.demands_per_core, self.seed)
+
+    @property
+    def label(self) -> str:
+        return f"{self.design}/{self.workload.name}@{self.seed}"
+
+
+def tasks_for(
+    designs: Sequence[str],
+    specs: Sequence[Union[WorkloadSpec, str]],
+    config: Optional[SystemConfig] = None,
+    demands_per_core: int = 600,
+    seeds: Sequence[int] = (7,),
+) -> List[CampaignTask]:
+    """The deterministic task list of a designs x workloads x seeds
+    campaign (iteration order: design-major, then workload, then seed).
+
+    Seeding is explicit and per-task: each task carries its own seed
+    drawn from ``seeds``, so results never depend on pool scheduling.
+    """
+    resolved = [lookup_workload(s) if isinstance(s, str) else s for s in specs]
+    config = config or SystemConfig.small()
+    return [
+        CampaignTask(design=design, workload=spec, config=config,
+                     demands_per_core=demands_per_core, seed=seed)
+        for design in designs
+        for spec in resolved
+        for seed in seeds
+    ]
+
+
+def _execute_task(task: CampaignTask) -> RunResult:
+    """Worker entry point (module-level so it pickles under any start
+    method); runs one simulation exactly as the serial path would."""
+    return run_experiment(task.design, task.workload, config=task.config,
+                          demands_per_core=task.demands_per_core,
+                          seed=task.seed)
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed JSON store of :class:`RunResult`s.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` — each file holds the task
+    metadata (for human inspection) and the result fields. Writes are
+    atomic (temp file + ``os.replace``), so a campaign killed mid-write
+    never leaves a corrupt entry; corrupt or stale-schema entries are
+    treated as misses and re-simulated.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        path = self.path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        result = result_from_dict(payload.get("result", {}))
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult,
+            task: Optional[CampaignTask] = None) -> Path:
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "version": CACHE_VERSION,
+            "result": dataclasses.asdict(result),
+        }
+        if task is not None:
+            payload["task"] = {
+                "design": task.design,
+                "workload": task.workload.name,
+                "demands_per_core": task.demands_per_core,
+                "seed": task.seed,
+            }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+def result_from_dict(data: Dict[str, object]) -> Optional[RunResult]:
+    """Rebuild a :class:`RunResult` from its JSON dict, or ``None`` if
+    the entry predates the current schema (missing required fields)."""
+    if not isinstance(data, dict):
+        return None
+    names = {spec.name for spec in dataclasses.fields(RunResult)}
+    kwargs = {k: v for k, v in data.items() if k in names}
+    try:
+        return RunResult(**kwargs)
+    except TypeError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Campaign execution
+# ---------------------------------------------------------------------------
+@dataclass
+class CampaignOutcome:
+    """What a campaign did: results aligned with the input task list
+    plus execution accounting."""
+
+    results: List[Optional[RunResult]]
+    by_key: Dict[str, RunResult]
+    simulated: int = 0
+    cached: int = 0
+    retried: int = 0
+    failures: Dict[str, str] = field(default_factory=dict)
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self, jobs: int = 1) -> str:
+        return (f"campaign: tasks={len(self.results)} "
+                f"simulated={self.simulated} cached={self.cached} "
+                f"retried={self.retried} failures={len(self.failures)} "
+                f"wall={self.wall_s:.1f}s jobs={jobs}")
+
+
+def run_campaign(
+    tasks: Sequence[CampaignTask],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    reuse_cache: bool = True,
+    retries: int = 2,
+    progress: Optional[ProgressFn] = None,
+    strict: bool = True,
+    runner: Callable[[CampaignTask], RunResult] = _execute_task,
+) -> CampaignOutcome:
+    """Execute a batch of simulations, in parallel, resumably.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. ``1`` runs everything in-process (no pool,
+        no pickling) and is bit-identical to calling
+        :func:`~repro.experiments.runner.run_experiment` in a loop.
+    cache:
+        Optional :class:`ResultCache`. Fresh results are always written
+        to it; existing entries are only *read* when ``reuse_cache``.
+    retries:
+        Extra attempts per task after a worker crash or error. Retries
+        re-run the identical task (explicit seed), so a retried result
+        is indistinguishable from a first-attempt one.
+    progress:
+        Optional callback, see :data:`ProgressFn`.
+    strict:
+        Raise :class:`SimulationError` if any task exhausts its
+        retries; otherwise its slot in ``results`` is ``None`` and the
+        error text lands in ``outcome.failures``.
+    runner:
+        Task executor (module-level for process pools); injectable for
+        tests.
+    """
+    tasks = list(tasks)
+    start = time.monotonic()
+    outcome = CampaignOutcome(results=[None] * len(tasks), by_key={})
+
+    # Dedupe on key: figure batches repeat baselines; simulate once.
+    unique: Dict[str, CampaignTask] = {}
+    for task in tasks:
+        unique.setdefault(task.key, task)
+
+    done = 0
+    total = len(unique)
+    sim_done = 0
+
+    def eta() -> Optional[float]:
+        if sim_done == 0:
+            return None
+        per_task = (time.monotonic() - start) / sim_done
+        return per_task * (total - done)
+
+    def report(label: str, source: str) -> None:
+        if progress is not None:
+            progress(done, total, label, source, eta())
+
+    # Pass 1: serve from the cache.
+    pending: Dict[str, CampaignTask] = {}
+    for key, task in unique.items():
+        hit = cache.get(key) if (cache is not None and reuse_cache) else None
+        if hit is not None:
+            outcome.by_key[key] = hit
+            outcome.cached += 1
+            done += 1
+            report(task.label, "cached")
+        else:
+            pending[key] = task
+
+    # Pass 2: simulate what's left, with bounded retry.
+    attempts: Dict[str, int] = {key: 0 for key in pending}
+
+    def record(key: str, task: CampaignTask, result: RunResult) -> None:
+        nonlocal done, sim_done
+        outcome.by_key[key] = result
+        outcome.simulated += 1
+        done += 1
+        sim_done += 1
+        if cache is not None:
+            cache.put(key, result, task)
+        report(task.label, "simulated")
+
+    def record_failure(key: str, task: CampaignTask, error: Exception) -> bool:
+        """Consume one attempt; return True if the task may retry."""
+        nonlocal done
+        attempts[key] += 1
+        if attempts[key] <= retries:
+            outcome.retried += 1
+            report(task.label, "retried")
+            return True
+        outcome.failures[key] = f"{task.label}: {error!r}"
+        done += 1
+        report(task.label, "failed")
+        return False
+
+    if jobs <= 1:
+        for key, task in pending.items():
+            while key not in outcome.by_key and key not in outcome.failures:
+                try:
+                    record(key, task, runner(task))
+                except Exception as error:  # noqa: BLE001 - retried/reported
+                    if not record_failure(key, task, error):
+                        break
+    else:
+        remaining = dict(pending)
+        while remaining:
+            batch = list(remaining.items())
+            # A fresh pool per round: a crashed worker breaks the whole
+            # pool, poisoning every outstanding future in it.
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = {pool.submit(runner, task): (key, task)
+                           for key, task in batch}
+                not_done = set(futures)
+                while not_done:
+                    finished, not_done = wait(not_done,
+                                              return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        key, task = futures[future]
+                        try:
+                            result = future.result()
+                        except Exception as error:  # noqa: BLE001
+                            if not record_failure(key, task, error):
+                                remaining.pop(key, None)
+                            continue
+                        record(key, task, result)
+                        remaining.pop(key, None)
+
+    outcome.results = [
+        outcome.by_key.get(task.key) for task in tasks
+    ]
+    outcome.wall_s = time.monotonic() - start
+    if strict and outcome.failures:
+        raise SimulationError(
+            "campaign failed for "
+            + "; ".join(sorted(outcome.failures.values()))
+        )
+    return outcome
+
+
+def execute_cached(
+    task: CampaignTask,
+    cache: Optional[ResultCache] = None,
+    reuse_cache: bool = True,
+) -> RunResult:
+    """Run (or fetch) a single task through the cache — the one-task
+    fast path :class:`~repro.experiments.figures.ExperimentContext`
+    uses for lazy, serial figure generation."""
+    key = task.key
+    if cache is not None and reuse_cache:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    result = _execute_task(task)
+    if cache is not None:
+        cache.put(key, result, task)
+    return result

@@ -4,18 +4,32 @@ Installed as ``tdram-repro``::
 
     tdram-repro list
     tdram-repro fig9                 # representative workload subset
+    tdram-repro fig9 --jobs 4        # same, simulations fanned out
     tdram-repro fig11 --full-suite   # all 28 workloads (slow)
     tdram-repro run tdram ft.D       # one simulation, all metrics
+    tdram-repro campaign --jobs 4    # designs x workloads sweep, cached
+    tdram-repro campaign --resume    # reuse the on-disk result cache
+
+Simulation-backed targets share a content-addressed on-disk result
+cache (``--cache-dir``, default ``.tdram_cache``; ``--no-cache``
+disables it), so re-running a figure or sweep only simulates what
+changed. See ``docs/campaign.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
+import os
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.config.system import SystemConfig
+from repro.experiments.campaign import ResultCache, run_campaign, tasks_for
 from repro.experiments.figures import (
+    EVALUATED_DESIGNS,
+    FIGURE_DESIGNS,
     ExperimentContext,
     fig01_hit_miss_breakdown,
     fig02_queueing_baselines,
@@ -38,7 +52,12 @@ from repro.experiments.studies import (
     way_select_study,
 )
 from repro.experiments.tables import table1_comparison
-from repro.workloads.suite import demand_stream, full_suite, workload
+from repro.workloads.suite import (
+    demand_stream,
+    full_suite,
+    representative_suite,
+    workload,
+)
 from repro.workloads.trace import capture_trace, trace_stats
 
 
@@ -89,7 +108,44 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="fault campaign for 'ras' (default single)")
     parser.add_argument("--ras-rate", type=float, default=0.5,
                         help="per-tick injection probability (default 0.5)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for simulation batches "
+                             "(default 1 = serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk result cache directory (default "
+                             "$TDRAM_CACHE_DIR or .tdram_cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache entirely")
+    parser.add_argument("--resume", action="store_true",
+                        help="campaign: reuse cached results instead of "
+                             "re-simulating every task")
+    parser.add_argument("--designs", default=None,
+                        help="campaign: comma-separated designs "
+                             "(default: the five evaluated designs)")
+    parser.add_argument("--workloads", default=None,
+                        help="campaign: comma-separated workload names "
+                             "(default: representative suite)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="campaign: extra attempts per crashed task "
+                             "(default 2)")
+    parser.add_argument("--out", default=None,
+                        help="campaign: write all RunResults to this "
+                             "JSON file")
     return parser
+
+
+def _cache(args) -> Optional[ResultCache]:
+    if args.no_cache:
+        return None
+    root = (args.cache_dir or os.environ.get("TDRAM_CACHE_DIR")
+            or ".tdram_cache")
+    return ResultCache(root)
+
+
+def _progress(done: int, total: int, label: str, source: str,
+              eta_s: Optional[float]) -> None:
+    eta = f"  eta {eta_s:.0f}s" if eta_s is not None else ""
+    print(f"[{done}/{total}] {label} {source}{eta}", file=sys.stderr)
 
 
 def main(argv=None) -> int:
@@ -97,8 +153,8 @@ def main(argv=None) -> int:
     target = args.target.lower()
     if target == "list":
         names = sorted(list(_CONTEXT_FIGURES) + list(_STANDALONE)
-                       + ["ras", "run", "report", "selfcheck", "suite",
-                          "trace-capture", "trace-stats"])
+                       + ["campaign", "ras", "run", "report", "selfcheck",
+                          "suite", "trace-capture", "trace-stats"])
         print("available targets:", ", ".join(names))
         return 0
     if target == "selfcheck":
@@ -120,10 +176,46 @@ def main(argv=None) -> int:
 
         specs = full_suite() if args.full_suite else None
         ctx = ExperimentContext(specs=specs, demands_per_core=args.demands,
-                                seed=args.seed)
+                                seed=args.seed, jobs=args.jobs,
+                                cache=_cache(args))
+        if args.jobs > 1:
+            needed = sorted({design for designs in FIGURE_DESIGNS.values()
+                             for design in designs})
+            ctx.warm(needed, jobs=args.jobs, progress=_progress)
         titles = generate_report(args.args[0], ctx)
         print(f"wrote {len(titles)} sections to {args.args[0]}")
         return 0
+    if target == "campaign":
+        designs = (args.designs.split(",") if args.designs
+                   else list(EVALUATED_DESIGNS))
+        if args.workloads:
+            specs = [workload(name) for name in args.workloads.split(",")]
+        elif args.full_suite:
+            specs = full_suite()
+        else:
+            specs = representative_suite()
+        tasks = tasks_for(designs, specs, config=SystemConfig.small(),
+                          demands_per_core=args.demands, seeds=[args.seed])
+        outcome = run_campaign(
+            tasks, jobs=args.jobs, cache=_cache(args),
+            reuse_cache=args.resume, retries=args.retries,
+            progress=_progress, strict=False,
+        )
+        if args.out:
+            payload = [
+                {"design": task.design, "workload": task.workload.name,
+                 "seed": task.seed, "key": task.key,
+                 "result": dataclasses.asdict(result)
+                 if result is not None else None}
+                for task, result in zip(tasks, outcome.results)
+            ]
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+            print(f"wrote {len(payload)} results to {args.out}")
+        for key, message in sorted(outcome.failures.items()):
+            print(f"FAILED {message}", file=sys.stderr)
+        print(outcome.summary(jobs=args.jobs))
+        return 0 if outcome.ok else 1
     if target == "trace-capture":
         if len(args.args) != 3:
             print("usage: tdram-repro trace-capture WORKLOAD PATH COUNT",
@@ -177,12 +269,21 @@ def main(argv=None) -> int:
             print(f"{key}: {value}")
         return 0
     if target in _STANDALONE:
-        print(_STANDALONE[target]().render())
+        kwargs = {}
+        if target == "tdram-ablation":
+            kwargs = {"jobs": args.jobs, "cache": _cache(args)}
+            if args.jobs > 1:
+                kwargs["progress"] = _progress
+        print(_STANDALONE[target](**kwargs).render())
         return 0
     if target in _CONTEXT_FIGURES:
         specs = full_suite() if args.full_suite else None
         ctx = ExperimentContext(specs=specs, demands_per_core=args.demands,
-                                seed=args.seed)
+                                seed=args.seed, jobs=args.jobs,
+                                cache=_cache(args))
+        if args.jobs > 1 and target in FIGURE_DESIGNS:
+            ctx.warm(FIGURE_DESIGNS[target], jobs=args.jobs,
+                     progress=_progress)
         print(_CONTEXT_FIGURES[target](ctx).render())
         return 0
     print(f"unknown target {target!r}; try 'tdram-repro list'", file=sys.stderr)

@@ -15,17 +15,39 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.cache.metrics import BREAKDOWN_CATEGORIES
 from repro.config.system import SystemConfig
 from repro.core.area import die_area_report, signal_report
-from repro.experiments.runner import RunResult, run_experiment
+from repro.experiments.campaign import (
+    CampaignTask,
+    ResultCache,
+    cache_key,
+    execute_cached,
+    run_campaign,
+)
+from repro.experiments.runner import RunResult
 from repro.workloads.base import MissClass, WorkloadSpec
 from repro.workloads.suite import representative_suite
 
 #: Designs compared in the latency/speedup figures (order = paper's).
 EVALUATED_DESIGNS = ("cascade_lake", "alloy", "bear", "ndc", "tdram")
+
+#: Designs each context figure/table needs — lets the CLI warm the
+#: context with one parallel campaign before generating a figure.
+FIGURE_DESIGNS: Dict[str, Sequence[str]] = {
+    "fig1": ("cascade_lake",),
+    "fig2": ("no_cache", "cascade_lake", "alloy", "bear"),
+    "fig3": ("cascade_lake", "alloy", "bear"),
+    "fig9": EVALUATED_DESIGNS,
+    "fig10": EVALUATED_DESIGNS,
+    "fig11": EVALUATED_DESIGNS + ("ideal",),
+    "fig12": EVALUATED_DESIGNS + ("ideal", "no_cache"),
+    "fig13": EVALUATED_DESIGNS,
+    "table4": EVALUATED_DESIGNS,
+}
 
 
 def geomean(values: Sequence[float]) -> float:
@@ -72,7 +94,16 @@ class FigureResult:
 
 
 class ExperimentContext:
-    """Runs and memoises (design, workload) simulations for the figures."""
+    """Runs and memoises (design, workload) simulations for the figures.
+
+    Memoisation keys on the full campaign :func:`cache_key` — design,
+    workload spec, ``SystemConfig``, work quantum, and seed — so a
+    context whose configuration changes (or two contexts sharing one
+    on-disk cache with different configs) can never return a stale
+    :class:`RunResult`. Pass ``cache`` (a :class:`ResultCache` or a
+    directory path) to persist results across processes, and ``jobs``
+    plus :meth:`warm` to fan simulations out over worker processes.
+    """
 
     def __init__(
         self,
@@ -80,21 +111,44 @@ class ExperimentContext:
         specs: Optional[List[WorkloadSpec]] = None,
         demands_per_core: int = 600,
         seed: int = 7,
+        jobs: int = 1,
+        cache: Optional[Union[ResultCache, str, Path]] = None,
     ) -> None:
         self.config = config or SystemConfig.small()
         self.specs = specs if specs is not None else representative_suite()
         self.demands_per_core = demands_per_core
         self.seed = seed
-        self._cache: Dict[Tuple[str, str], RunResult] = {}
+        self.jobs = jobs
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self._cache: Dict[str, RunResult] = {}
+
+    def task(self, design: str, spec: WorkloadSpec) -> CampaignTask:
+        return CampaignTask(design=design, workload=spec, config=self.config,
+                            demands_per_core=self.demands_per_core,
+                            seed=self.seed)
 
     def result(self, design: str, spec: WorkloadSpec) -> RunResult:
-        key = (design, spec.name)
+        key = cache_key(design, spec, self.config, self.demands_per_core,
+                        self.seed)
         if key not in self._cache:
-            self._cache[key] = run_experiment(
-                design, spec, config=self.config,
-                demands_per_core=self.demands_per_core, seed=self.seed,
-            )
+            self._cache[key] = execute_cached(self.task(design, spec),
+                                              cache=self.cache)
         return self._cache[key]
+
+    def warm(self, designs: Sequence[str], jobs: Optional[int] = None,
+             progress=None):
+        """Populate the memo for ``designs`` x ``self.specs`` with one
+        (optionally parallel) campaign; returns its outcome."""
+        tasks = [self.task(design, spec)
+                 for design in designs for spec in self.specs]
+        outcome = run_campaign(tasks, jobs=jobs if jobs is not None
+                               else self.jobs, cache=self.cache,
+                               progress=progress)
+        for task, result in zip(tasks, outcome.results):
+            self._cache[task.key] = result
+        return outcome
 
     def by_group(self, group: MissClass) -> List[WorkloadSpec]:
         return [s for s in self.specs if s.miss_class is group]

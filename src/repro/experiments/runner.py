@@ -7,7 +7,7 @@ region, and runtime is the completion time of a fixed work quantum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Union
 
 import numpy as np
@@ -27,6 +27,23 @@ from repro.workloads.suite import demand_stream, workload as lookup_workload
 _CHUNK_PS = ns(200_000)
 #: Abort after this many chunks without any new submission.
 _STALL_CHUNKS = 50
+
+
+def _pythonify(value):
+    """Recursively convert numpy scalars/arrays to builtin types."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_pythonify(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {_pythonify(k): _pythonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return type(value)(_pythonify(v) for v in value)
+    return value
 
 
 @dataclass
@@ -65,8 +82,27 @@ class RunResult:
     flush_unloads: Dict[str, int] = field(default_factory=dict)
     writebacks: int = 0
     events: Dict[str, int] = field(default_factory=dict)
+    #: kernel events dispatched over the whole run (incl. warm-up) —
+    #: the simulator-throughput denominator for events/sec benchmarks
+    sim_events: int = 0
     #: RAS campaign counters + degradation state (empty when disabled)
     ras: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.coerce_builtin()
+
+    def coerce_builtin(self) -> "RunResult":
+        """Coerce every field (recursively) to builtin Python types.
+
+        Metrics computed with numpy leak ``np.float64``/``np.int64``
+        scalars into result fields; they bloat/break JSON export and
+        must not be relied on to pickle across the campaign process
+        pool. Called at construction and again by the runner after the
+        design-specific extras are filled in.
+        """
+        for spec in fields(self):
+            setattr(self, spec.name, _pythonify(getattr(self, spec.name)))
+        return self
 
     @property
     def runtime_ns(self) -> float:
@@ -158,8 +194,10 @@ def _run(
 
     last_submitted = -1
     stall_chunks = 0
+    sim_events = 0
     while not progress.all_done:
         dispatched = sim.run(until=sim.now + _CHUNK_PS)
+        sim_events += dispatched
         if progress.all_done:
             break
         if dispatched == 0 and sim.pending() == 0:
@@ -205,6 +243,7 @@ def _run(
         cache_energy_pj=cache_energy,
         writebacks=getattr(sink, "writebacks", 0),
         events=metrics.events.as_dict(),
+        sim_events=sim_events,
     )
     probe_engine = getattr(sink, "probe_engine", None)
     if probe_engine is not None:
@@ -227,7 +266,7 @@ def _run(
     ras = getattr(sink, "ras", None)
     if ras is not None:
         result.ras = ras.snapshot()
-    return result
+    return result.coerce_builtin()
 
 
 def _prewarm(sink, spec: WorkloadSpec, config: SystemConfig, seed: int,

@@ -4,6 +4,13 @@ Beyond the paper's own sensitivity studies (§V-D/E/F), these helpers
 let a user sweep *any* configuration axis — cache capacity, channel
 count, MLP, buffer sizes — and get a :class:`FigureResult` back. Used
 by ``examples/design_space.py`` and the ablation benches.
+
+Every sweep point is an independent simulation, so the whole sweep is
+executed as one campaign (:mod:`repro.experiments.campaign`): pass
+``jobs=N`` to fan the points out over worker processes and ``cache``
+(a :class:`~repro.experiments.campaign.ResultCache` or directory) to
+persist results — the campaign key covers the swept ``SystemConfig``,
+so distinct points can never alias.
 """
 
 from __future__ import annotations
@@ -13,8 +20,8 @@ from typing import Iterable, List, Optional, Sequence
 
 from repro.config.system import SystemConfig
 from repro.errors import ConfigError
+from repro.experiments.campaign import CampaignTask, run_campaign
 from repro.experiments.figures import FigureResult, geomean
-from repro.experiments.runner import run_experiment
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.suite import representative_suite
 
@@ -29,6 +36,9 @@ def config_sweep(
     demands_per_core: int = 400,
     seed: int = 7,
     hold_footprint: bool = False,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
 ) -> FigureResult:
     """Sweep one ``SystemConfig`` field and report per-point geomeans.
 
@@ -41,17 +51,22 @@ def config_sweep(
         When sweeping the cache capacity, keep the *absolute* workload
         footprint fixed (workload footprints otherwise scale with the
         configured capacity).
+    jobs / cache / progress:
+        Campaign execution knobs (worker processes, on-disk result
+        cache, progress callback); see :func:`run_campaign`.
     """
     base_config = config or SystemConfig.small()
     if not hasattr(base_config, parameter):
         raise ConfigError(f"SystemConfig has no field {parameter!r}")
     specs = specs if specs is not None else representative_suite()[:4]
-    rows = []
+
+    # Enumerate every (point, spec) simulation up front so the whole
+    # sweep runs as one campaign.
+    points = []
+    tasks: List[CampaignTask] = []
     for value in values:
         point = base_config.with_(**{parameter: value})
-        speedups = []
-        tag_checks = []
-        miss_ratios = []
+        point_tasks = []
         for spec in specs:
             run_spec = spec
             if hold_footprint and parameter == "cache_capacity_bytes":
@@ -62,15 +77,34 @@ def config_sweep(
                         * base_config.cache_capacity_bytes / value
                     ),
                 )
-            result = run_experiment(design, run_spec, point,
-                                    demands_per_core=demands_per_core,
-                                    seed=seed)
+            design_task = CampaignTask(
+                design=design, workload=run_spec, config=point,
+                demands_per_core=demands_per_core, seed=seed,
+            )
+            baseline_task = None
+            if baseline_design is not None:
+                baseline_task = CampaignTask(
+                    design=baseline_design, workload=run_spec, config=point,
+                    demands_per_core=demands_per_core, seed=seed,
+                )
+                tasks.append(baseline_task)
+            tasks.append(design_task)
+            point_tasks.append((design_task, baseline_task))
+        points.append((value, point_tasks))
+
+    outcome = run_campaign(tasks, jobs=jobs, cache=cache, progress=progress)
+
+    rows = []
+    for value, point_tasks in points:
+        speedups = []
+        tag_checks = []
+        miss_ratios = []
+        for design_task, baseline_task in point_tasks:
+            result = outcome.by_key[design_task.key]
             tag_checks.append(result.tag_check_ns)
             miss_ratios.append(result.miss_ratio)
-            if baseline_design is not None:
-                baseline = run_experiment(baseline_design, run_spec, point,
-                                          demands_per_core=demands_per_core,
-                                          seed=seed)
+            if baseline_task is not None:
+                baseline = outcome.by_key[baseline_task.key]
                 speedups.append(result.speedup_over(baseline))
         row = {
             parameter: value,

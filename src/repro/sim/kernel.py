@@ -103,6 +103,11 @@ class Simulator:
         -------
         int
             The number of events dispatched.
+
+        When ``until`` is given and the run ends because the bound was
+        reached (rather than :meth:`stop` or ``max_events``), the clock
+        is advanced to ``until`` even if later events remain queued, so
+        chunked callers observe ``now == until`` after every chunk.
         """
         if self._running:
             raise SimulationError("run() called re-entrantly")
@@ -124,7 +129,18 @@ class Simulator:
                     break
         finally:
             self._running = False
-        if until is not None and self._now < until and not self._queue:
+        # Advance to the bound unconditionally on a bounded run: a
+        # pending future event must not leave ``now`` lagging ``until``,
+        # or chunked callers (the runner's watchdog loop) re-run the
+        # same window forever and mis-account stalls. Stop requests and
+        # the max_events valve end the run *before* the bound, so they
+        # leave the clock at the last dispatched event.
+        if (
+            until is not None
+            and self._now < until
+            and not self._stop_requested
+            and (max_events is None or dispatched < max_events)
+        ):
             self._now = until
         return dispatched
 

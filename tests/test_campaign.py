@@ -1,0 +1,305 @@
+"""Tests for the parallel campaign engine and its on-disk result cache.
+
+Covers the cache-key contract (every ingredient of a RunResult is part
+of the key), the JSON result cache, serial/parallel bit-identity,
+resume-with-zero-new-simulations, bounded retry, and the
+ExperimentContext keying fix (config changes can never serve a stale
+result).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.config.system import MIB, SystemConfig
+from repro.errors import SimulationError
+from repro.experiments.campaign import (
+    CampaignTask,
+    ResultCache,
+    cache_key,
+    run_campaign,
+    tasks_for,
+)
+from repro.experiments.figures import ExperimentContext
+from repro.experiments.runner import RunResult, run_experiment
+from repro.workloads.suite import representative_suite, workload
+
+FAST = SystemConfig(cache_capacity_bytes=4 * MIB, mm_capacity_bytes=64 * MIB,
+                    cores=4)
+DEMANDS = 80
+SEED = 13
+
+
+def fast_tasks(designs=("tdram", "cascade_lake"), specs=("cg.C", "bfs.22")):
+    return tasks_for(designs, specs, config=FAST, demands_per_core=DEMANDS,
+                     seeds=[SEED])
+
+
+@pytest.fixture(scope="module")
+def one_result() -> RunResult:
+    return run_experiment("tdram", "cg.C", config=FAST,
+                          demands_per_core=DEMANDS, seed=SEED)
+
+
+class TestCacheKey:
+    def test_stable_and_name_lookup_equivalent(self):
+        key = cache_key("tdram", "cg.C", FAST, DEMANDS, SEED)
+        assert key == cache_key("tdram", workload("cg.C"), FAST, DEMANDS,
+                                SEED)
+        assert len(key) == 64 and int(key, 16) >= 0
+
+    @pytest.mark.parametrize("change", [
+        dict(design="cascade_lake"),
+        dict(spec="bfs.22"),
+        dict(demands=DEMANDS + 1),
+        dict(seed=SEED + 1),
+    ])
+    def test_each_ingredient_changes_the_key(self, change):
+        base = cache_key("tdram", "cg.C", FAST, DEMANDS, SEED)
+        other = cache_key(change.get("design", "tdram"),
+                          change.get("spec", "cg.C"), FAST,
+                          change.get("demands", DEMANDS),
+                          change.get("seed", SEED))
+        assert other != base
+
+    @pytest.mark.parametrize("overrides", [
+        dict(cache_ways=2),
+        dict(flush_buffer_entries=8),
+        dict(cores=2),
+        dict(enable_probing=False),
+    ])
+    def test_any_config_field_changes_the_key(self, overrides):
+        base = cache_key("tdram", "cg.C", FAST, DEMANDS, SEED)
+        other = cache_key("tdram", "cg.C", FAST.with_(**overrides), DEMANDS,
+                          SEED)
+        assert other != base
+
+    def test_nested_config_changes_the_key(self):
+        from repro.ras.config import RasConfig
+
+        base = cache_key("tdram", "cg.C", FAST, DEMANDS, SEED)
+        campaign = FAST.with_(ras=RasConfig.campaign(SEED))
+        assert cache_key("tdram", "cg.C", campaign, DEMANDS, SEED) != base
+
+
+class TestRunResultSerialization:
+    def test_json_round_trips(self, one_result):
+        data = dataclasses.asdict(one_result)
+        assert json.loads(json.dumps(data)) == data
+
+    def test_all_leaves_are_builtin(self, one_result):
+        def check(value, path):
+            if isinstance(value, dict):
+                for k, v in value.items():
+                    assert type(k) in (str, int), f"{path}[{k!r}]"
+                    check(v, f"{path}[{k!r}]")
+            elif isinstance(value, (list, tuple)):
+                for i, v in enumerate(value):
+                    check(v, f"{path}[{i}]")
+            else:
+                assert type(value) in (int, float, str, bool, type(None)), \
+                    f"{path} is {type(value)}"
+
+        check(dataclasses.asdict(one_result), "result")
+
+    def test_numpy_scalars_coerced_at_construction(self, one_result):
+        data = dataclasses.asdict(one_result)
+        data.update(
+            miss_ratio=np.float64(0.5),
+            demands=np.int64(100),
+            breakdown={"read_hit": np.float64(1.0)},
+            events={"x": np.int64(3)},
+        )
+        result = RunResult(**data)
+        assert type(result.miss_ratio) is float
+        assert type(result.demands) is int
+        assert type(result.breakdown["read_hit"]) is float
+        assert type(result.events["x"]) is int
+        json.dumps(dataclasses.asdict(result))
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path, one_result):
+        cache = ResultCache(tmp_path)
+        key = cache_key("tdram", "cg.C", FAST, DEMANDS, SEED)
+        path = cache.put(key, one_result)
+        assert path.exists() and key in cache
+        loaded = cache.get(key)
+        assert dataclasses.asdict(loaded) == dataclasses.asdict(one_result)
+
+    def test_missing_is_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("0" * 64) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, one_result):
+        cache = ResultCache(tmp_path)
+        key = cache_key("tdram", "cg.C", FAST, DEMANDS, SEED)
+        path = cache.put(key, one_result)
+        path.write_text("not json{")
+        assert cache.get(key) is None
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "a" * 64
+        path = cache.path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"result": {"design": "tdram"}}))
+        assert cache.get(key) is None
+
+    def test_entry_records_task_metadata(self, tmp_path, one_result):
+        cache = ResultCache(tmp_path)
+        task = fast_tasks()[0]
+        cache.put(task.key, one_result, task)
+        payload = json.loads(cache.path(task.key).read_text())
+        assert payload["task"]["design"] == task.design
+        assert payload["task"]["workload"] == task.workload.name
+        assert payload["task"]["seed"] == SEED
+        assert len(cache) == 1
+
+
+class TestCampaignExecution:
+    def test_serial_matches_direct_runner(self):
+        task = fast_tasks()[0]
+        outcome = run_campaign([task], jobs=1)
+        direct = run_experiment(task.design, task.workload, config=FAST,
+                                demands_per_core=DEMANDS, seed=SEED)
+        assert dataclasses.asdict(outcome.results[0]) == \
+            dataclasses.asdict(direct)
+
+    def test_parallel_bit_identical_to_serial_representative_suite(self):
+        """Satellite: the parallel campaign over the representative
+        suite is field-by-field identical to the serial path."""
+        tasks = tasks_for(["tdram", "no_cache"], representative_suite(),
+                          config=FAST, demands_per_core=50, seeds=[SEED])
+        serial = run_campaign(tasks, jobs=1)
+        parallel = run_campaign(tasks, jobs=2)
+        assert parallel.simulated == len(tasks)
+        for left, right in zip(serial.results, parallel.results):
+            assert dataclasses.asdict(left) == dataclasses.asdict(right)
+
+    def test_duplicate_tasks_simulate_once(self):
+        task = fast_tasks()[0]
+        outcome = run_campaign([task, task, task], jobs=1)
+        assert outcome.simulated == 1
+        assert outcome.results[0] is outcome.results[1] is outcome.results[2]
+
+    def test_resumed_campaign_performs_zero_new_simulations(self, tmp_path):
+        tasks = fast_tasks()
+        cache = ResultCache(tmp_path)
+        first = run_campaign(tasks, jobs=1, cache=cache)
+        assert first.simulated == len(tasks) and first.cached == 0
+        resumed = run_campaign(tasks, jobs=2, cache=cache)
+        assert resumed.simulated == 0
+        assert resumed.cached == len(tasks)
+        for left, right in zip(first.results, resumed.results):
+            assert dataclasses.asdict(left) == dataclasses.asdict(right)
+
+    def test_reuse_cache_false_resimulates_but_rewrites(self, tmp_path):
+        tasks = fast_tasks(designs=("tdram",), specs=("cg.C",))
+        cache = ResultCache(tmp_path)
+        run_campaign(tasks, jobs=1, cache=cache)
+        fresh = run_campaign(tasks, jobs=1, cache=cache, reuse_cache=False)
+        assert fresh.simulated == 1 and fresh.cached == 0
+
+    def test_retry_recovers_from_transient_failure(self):
+        task = fast_tasks()[0]
+        calls = {"n": 0}
+
+        def flaky(t):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("simulated worker crash")
+            return run_experiment(t.design, t.workload, config=t.config,
+                                  demands_per_core=t.demands_per_core,
+                                  seed=t.seed)
+
+        outcome = run_campaign([task], jobs=1, retries=2, runner=flaky)
+        assert outcome.retried == 1
+        assert outcome.ok and outcome.results[0] is not None
+
+    def test_exhausted_retries_fail_the_task(self):
+        task = fast_tasks()[0]
+
+        def broken(_task):
+            raise RuntimeError("always down")
+
+        outcome = run_campaign([task], jobs=1, retries=1, runner=broken,
+                               strict=False)
+        assert not outcome.ok
+        assert outcome.retried == 1 and len(outcome.failures) == 1
+        assert outcome.results == [None]
+
+    def test_strict_failure_raises(self):
+        bad = CampaignTask(design="not_a_design", workload=workload("cg.C"),
+                           config=FAST, demands_per_core=DEMANDS, seed=SEED)
+        with pytest.raises(SimulationError):
+            run_campaign([bad], jobs=1, retries=0)
+
+    def test_progress_reports_every_task(self):
+        tasks = fast_tasks(designs=("tdram",))
+        events = []
+        run_campaign(tasks, jobs=1,
+                     progress=lambda *args: events.append(args))
+        assert len(events) == len(tasks)
+        dones = [e[0] for e in events]
+        assert dones == sorted(dones) and dones[-1] == len(tasks)
+        assert all(e[3] == "simulated" for e in events)
+
+
+class TestExperimentContextKeying:
+    def test_memoises_identical_runs(self):
+        ctx = ExperimentContext(config=FAST, specs=[workload("cg.C")],
+                                demands_per_core=DEMANDS, seed=SEED)
+        assert ctx.result("tdram", ctx.specs[0]) is \
+            ctx.result("tdram", ctx.specs[0])
+
+    def test_config_change_invalidates_memo(self):
+        """Satellite: keying covers config + seed + demands, so a sweep
+        that rebinds the context's SystemConfig never sees stale data."""
+        ctx = ExperimentContext(config=FAST, specs=[workload("cg.C")],
+                                demands_per_core=DEMANDS, seed=SEED)
+        before = ctx.result("tdram", ctx.specs[0])
+        ctx.config = FAST.with_(max_outstanding_reads_per_core=1)
+        after = ctx.result("tdram", ctx.specs[0])
+        assert after is not before
+        assert after.runtime_ps != before.runtime_ps
+
+    def test_seed_and_demands_part_of_memo_key(self):
+        ctx = ExperimentContext(config=FAST, specs=[workload("cg.C")],
+                                demands_per_core=DEMANDS, seed=SEED)
+        before = ctx.result("tdram", ctx.specs[0])
+        ctx.seed = SEED + 1
+        assert ctx.result("tdram", ctx.specs[0]) is not before
+        ctx.seed = SEED
+        assert ctx.result("tdram", ctx.specs[0]) is before
+        ctx.demands_per_core = DEMANDS + 20
+        assert ctx.result("tdram", ctx.specs[0]) is not before
+
+    def test_shared_disk_cache_between_contexts(self, tmp_path):
+        spec = workload("cg.C")
+        first = ExperimentContext(config=FAST, specs=[spec],
+                                  demands_per_core=DEMANDS, seed=SEED,
+                                  cache=tmp_path)
+        result = first.result("tdram", spec)
+        second = ExperimentContext(config=FAST, specs=[spec],
+                                   demands_per_core=DEMANDS, seed=SEED,
+                                   cache=tmp_path)
+        reloaded = second.result("tdram", spec)
+        assert dataclasses.asdict(reloaded) == dataclasses.asdict(result)
+        # A different config sharing the same cache dir must re-simulate.
+        other = ExperimentContext(config=FAST.with_(cache_ways=2),
+                                  specs=[spec], demands_per_core=DEMANDS,
+                                  seed=SEED, cache=tmp_path)
+        other.result("tdram", spec)
+        assert len(ResultCache(tmp_path)) == 2
+
+    def test_warm_populates_memo(self):
+        ctx = ExperimentContext(config=FAST, specs=[workload("cg.C")],
+                                demands_per_core=DEMANDS, seed=SEED)
+        outcome = ctx.warm(["tdram", "no_cache"], jobs=1)
+        assert outcome.simulated == 2
+        warmed = ctx.result("tdram", ctx.specs[0])
+        assert warmed is ctx._cache[ctx.task("tdram", ctx.specs[0]).key]

@@ -97,6 +97,63 @@ class TestRunControls:
         sim.run(until=ns(500))
         assert sim.now == ns(500)
 
+    def test_run_until_advances_clock_past_pending_event(self):
+        """Chunked regression: a queued future event must not hold the
+        clock below the bound (it used to, skewing stall accounting)."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(ns(1000), lambda: fired.append(sim.now))
+        sim.run(until=ns(100))
+        assert fired == []
+        assert sim.pending() == 1
+        assert sim.now == ns(100)
+
+    def test_chunked_runs_reach_a_far_event_at_its_exact_time(self):
+        """Watchdog-style chunking makes steady progress and dispatches
+        the far event exactly when its time falls inside a chunk."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(ns(1000), lambda: fired.append(sim.now))
+        chunk = ns(100)
+        for _ in range(10):
+            sim.run(until=sim.now + chunk)
+        assert fired == [ns(1000)]
+        assert sim.now == ns(1000)
+
+    def test_run_until_advances_after_draining_early_events(self):
+        """Drained regression: events before the bound fire, then the
+        clock still lands on the bound itself."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(ns(10), lambda: fired.append(sim.now))
+        sim.run(until=ns(50))
+        assert fired == [ns(10)]
+        assert sim.pending() == 0
+        assert sim.now == ns(50)
+
+    def test_stop_does_not_advance_clock_to_bound(self):
+        sim = Simulator()
+        sim.schedule(ns(1), sim.stop)
+        sim.schedule(ns(100), lambda: None)
+        sim.run(until=ns(50))
+        assert sim.now == ns(1)
+
+    def test_max_events_does_not_advance_clock_to_bound(self):
+        sim = Simulator()
+        sim.schedule(ns(1), lambda: None)
+        sim.schedule(ns(2), lambda: None)
+        sim.run(until=ns(50), max_events=1)
+        assert sim.now == ns(1)
+
+    def test_events_scheduled_relative_to_advanced_clock(self):
+        """After a bounded run, schedule() is relative to the bound."""
+        sim = Simulator()
+        fired = []
+        sim.run(until=ns(100))
+        sim.schedule(ns(5), lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [ns(105)]
+
     def test_max_events_limits_dispatch(self):
         sim = Simulator()
         fired = []
