@@ -223,6 +223,13 @@ class DramCacheController(abc.ABC):
             from repro.ras.manager import RasManager
 
             self.ras = RasManager(self)
+        #: observability layer (lifecycle tracing, epoch series, kernel
+        #: profiling) — None unless any config.obs instrument is on
+        self.obs = None
+        if config.obs.any_enabled:
+            from repro.obs.session import ObsSession
+
+            self.obs = ObsSession(self)
 
     # ------------------------------------------------------------------
     # Front-end interface
@@ -247,6 +254,8 @@ class DramCacheController(abc.ABC):
     def submit(self, request: DemandRequest) -> None:
         """Accept a demand (caller must have checked :meth:`can_accept`)."""
         request.arrive_time = self.sim.now
+        if self.obs is not None:
+            self.obs.on_enqueue(request)
         if self.prefetcher is not None and request.op is Op.READ:
             self._drive_prefetcher(request)
         self._enqueue(request)
@@ -282,6 +291,8 @@ class DramCacheController(abc.ABC):
         demand.tag_result_time = time
         demand.outcome = outcome
         self.metrics.record_outcome(demand.op, outcome)
+        if self.obs is not None:
+            self.obs.on_tag_result(demand, time, outcome)
         # Fig. 9's tag-check latency is a read-demand metric: it is the
         # component of the LLC read-miss penalty (§V-A). Write demands
         # resolve their tags with their own (posted) write operation.
@@ -292,15 +303,21 @@ class DramCacheController(abc.ABC):
         if demand.issue_time < 0:
             demand.issue_time = issue
             self.metrics.read_queue_delay.record(issue - demand.arrive_time)
+            if self.obs is not None:
+                self.obs.on_issue(demand, issue)
 
     def _complete_read(self, demand: DemandRequest, time: int) -> None:
         if demand.completed:
             return
         self.metrics.read_latency.record(time - demand.arrive_time)
+        if self.obs is not None:
+            self.obs.on_read_complete(demand, time)
         demand.complete(time)
 
     def _fetch(self, block: int, demand: Optional[DemandRequest]) -> None:
         """Read ``block`` from main memory; fill and complete waiters."""
+        if self.obs is not None and demand is not None:
+            self.obs.on_fetch_start(demand, self.sim.now)
         waiters = self._mshrs.get(block)
         if waiters is not None:
             if demand is not None:
@@ -322,6 +339,8 @@ class DramCacheController(abc.ABC):
         # a speculative fetch nobody waits for moved bytes for nothing.
         self.metrics.ledger.move("mm_fetch", 64, useful=bool(waiters))
         for demand in waiters:
+            if self.obs is not None:
+                self.obs.on_fetch_return(demand, time)
             self._complete_read(demand, time)
         evicted = self.tags.fill(block)
         if evicted is None and not self.tags.contains(block):
@@ -386,6 +405,8 @@ class DramCacheController(abc.ABC):
         if with_tag:
             self.meter.record("act_tag")
             self.meter.record("hm_packet")
+            if self.obs is not None and grant.hm_at is not None:
+                self.obs.on_hm_result(channel_idx, grant.hm_at)
         if column_op:
             self.meter.record("col_op")
         if with_data and transfer:

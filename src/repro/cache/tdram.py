@@ -50,6 +50,8 @@ class TdramCache(DramCacheController):
         self.flush = FlushBuffer(config.flush_buffer_entries)
         if self.ras is not None:
             self.ras.attach_flush(self.flush)
+        if self.obs is not None:
+            self.obs.attach_flush(self.flush)
         self.probe_engine = ProbeEngine()
         self.enable_probing = config.enable_probing
         opportunistic = config.flush_unload_policy == "opportunistic"
@@ -169,6 +171,8 @@ class TdramCache(DramCacheController):
             self._record_tag_result(demand, hm_at, outcome)
         if outcome.is_hit:
             self.metrics.ledger.move("hit_data", 64, useful=True)
+            if self.obs is not None and data_start is not None:
+                self.obs.on_dq_window(demand, data_start, data_end)
             self.sim.at(data_end, lambda: self._complete_read(demand, data_end))
             return
         if outcome is Outcome.MISS_DIRTY:
@@ -213,6 +217,9 @@ class TdramCache(DramCacheController):
         self.flush.note_unload("read_miss_clean")
         self.meter.add_dq_bytes(64)
         self.metrics.ledger.move("flush_unload", 64, useful=False)
+        if self.obs is not None:
+            self.obs.on_flush_drain("read_miss_clean", block,
+                                    slot_start, slot_end)
         self.sim.at(slot_end, lambda: self._writeback(block))
 
     # ------------------------------------------------------------------
@@ -229,9 +236,14 @@ class TdramCache(DramCacheController):
             return
         demand = op.demand
         assert demand is not None
+        if self.obs is not None:
+            self.obs.on_issue(demand, now)
         result = self.tags.probe(demand.block_addr, touch=False)
         self._record_tag_result(demand, grant.hm_at + result.ecc_penalty_ps,
                                 result.outcome)
+        if (self.obs is not None and grant.data_start is not None
+                and grant.data_end is not None):
+            self.obs.on_dq_window(demand, grant.data_start, grant.data_end)
         self.metrics.ledger.move("demand_write", 64, useful=True)
         evicted = self.tags.install(demand.block_addr, dirty=True)
         if evicted is not None and evicted[1]:
@@ -261,6 +273,8 @@ class TdramCache(DramCacheController):
             end = channel.transfer_raw(time, 64, Direction.READ)
             self.meter.add_dq_bytes(64)
             self.metrics.ledger.move("flush_unload", 64, useful=False)
+            if self.obs is not None:
+                self.obs.on_flush_drain("forced", block, time, end)
             self.sim.at(end, lambda block=block: self._writeback(block))
 
     # ------------------------------------------------------------------
@@ -314,6 +328,9 @@ class TdramCache(DramCacheController):
         self._probe_busy_until[channel_idx][op.bank] = now + tag_timing.tRC_TAG
         assert grant.hm_at is not None
         hm_at = grant.hm_at
+        if self.obs is not None:
+            self.obs.on_probe(demand, now, hm_at)
+            self.obs.on_hm_result(channel_idx, hm_at)
         self.sim.at(hm_at, lambda: self._on_probe_result(channel_idx, op, hm_at))
         # The CA bus frees after one command slot; chain another probe
         # attempt so every unused slot can be filled (§III-E).
@@ -360,11 +377,15 @@ class TdramCache(DramCacheController):
         # victims stream out back to back.
         burst = self.config.cache_timing.tBURST
         slots = max(0, (end - start) // max(1, burst))
-        for _ in range(slots):
+        for i in range(slots):
             block = self.flush.pop()
             if block is None:
                 break
             self.flush.note_unload("refresh")
             self.meter.add_dq_bytes(64)
             self.metrics.ledger.move("flush_unload", 64, useful=False)
+            if self.obs is not None:
+                self.obs.on_flush_drain("refresh", block,
+                                        start + i * burst,
+                                        start + (i + 1) * burst)
             self.sim.at(end, lambda block=block: self._writeback(block))

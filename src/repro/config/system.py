@@ -24,6 +24,7 @@ from repro.dram.timing import (
 )
 from repro.energy.power_model import EnergyModel
 from repro.errors import ConfigError
+from repro.obs.config import ObsConfig
 from repro.ras.config import RasConfig
 
 GIB = 1024 ** 3
@@ -77,6 +78,8 @@ class SystemConfig:
     energy_model: EnergyModel = field(default_factory=EnergyModel)
     # -- reliability (fault campaigns; disabled by default) --
     ras: RasConfig = field(default_factory=RasConfig)
+    # -- observability (tracing / epoch series / profiling; all off) --
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         if self.cache_capacity_bytes <= 0 or self.mm_capacity_bytes <= 0:

@@ -42,6 +42,13 @@ class FlushBuffer:
         self._faults: Dict[int, int] = {}
         #: RAS counter sink (a CounterSet), attached by RasManager
         self.ras_counters: Optional[CounterSet] = None
+        #: observability sink called with the occupancy after every
+        #: mutation (attached by ObsSession when tracing is on)
+        self.obs_sink = None
+
+    def _notify_obs(self) -> None:
+        if self.obs_sink is not None:
+            self.obs_sink(len(self._entries))
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -68,6 +75,7 @@ class FlushBuffer:
         self._entries.append(block)
         self._faults.pop(block, None)
         self.events.add("insert")
+        self._notify_obs()
         return True
 
     def pop(self) -> Optional[int]:
@@ -80,6 +88,7 @@ class FlushBuffer:
         """
         while self._entries:
             block = self._entries.pop(0)
+            self._notify_obs()
             bits = self._faults.pop(block, 0)
             if bits == 0:
                 return block
@@ -102,6 +111,7 @@ class FlushBuffer:
             self._entries.remove(block)
             self._faults.pop(block, None)
             self.events.add("superseded")
+            self._notify_obs()
             return True
         return False
 

@@ -9,6 +9,8 @@ Installed as ``tdram-repro``::
     tdram-repro run tdram ft.D       # one simulation, all metrics
     tdram-repro campaign --jobs 4    # designs x workloads sweep, cached
     tdram-repro campaign --resume    # reuse the on-disk result cache
+    tdram-repro trace --workload synthetic --out trace.json
+                                     # Perfetto-loadable lifecycle trace
 
 Simulation-backed targets share a content-addressed on-disk result
 cache (``--cache-dir``, default ``.tdram_cache``; ``--no-cache``
@@ -53,6 +55,7 @@ from repro.experiments.studies import (
 )
 from repro.experiments.tables import table1_comparison
 from repro.workloads.suite import (
+    any_workload,
     demand_stream,
     full_suite,
     representative_suite,
@@ -129,8 +132,21 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="campaign: extra attempts per crashed task "
                              "(default 2)")
     parser.add_argument("--out", default=None,
-                        help="campaign: write all RunResults to this "
-                             "JSON file")
+                        help="campaign: write all RunResults to this JSON "
+                             "file; trace: output path (default trace.json)")
+    parser.add_argument("--workload", default="synthetic",
+                        help="trace: workload name — suite (e.g. ft.D) or "
+                             "synthetic (default synthetic)")
+    parser.add_argument("--design", default="tdram",
+                        help="trace: cache design to trace (default tdram)")
+    parser.add_argument("--epoch-us", type=float, default=5.0,
+                        help="trace: epoch sampling period in simulated "
+                             "microseconds, 0 disables (default 5)")
+    parser.add_argument("--profile", action="store_true",
+                        help="trace: also profile the event kernel")
+    parser.add_argument("--trace", action="store_true",
+                        help="campaign: record a Chrome trace per run "
+                             "beside its cached result")
     return parser
 
 
@@ -154,7 +170,7 @@ def main(argv=None) -> int:
     if target == "list":
         names = sorted(list(_CONTEXT_FIGURES) + list(_STANDALONE)
                        + ["campaign", "ras", "run", "report", "selfcheck",
-                          "suite", "trace-capture", "trace-stats"])
+                          "suite", "trace", "trace-capture", "trace-stats"])
         print("available targets:", ", ".join(names))
         return 0
     if target == "selfcheck":
@@ -185,6 +201,30 @@ def main(argv=None) -> int:
         titles = generate_report(args.args[0], ctx)
         print(f"wrote {len(titles)} sections to {args.args[0]}")
         return 0
+    if target == "trace":
+        from repro.obs import ObsConfig
+
+        config = SystemConfig.small().with_(obs=ObsConfig(
+            trace=True, epoch_us=args.epoch_us, profile=args.profile,
+        ))
+        out = args.out or "trace.json"
+        result = run_experiment(args.design, any_workload(args.workload),
+                                config=config, demands_per_core=args.demands,
+                                seed=args.seed, trace_out=out)
+        with open(out, "r", encoding="utf-8") as handle:
+            events = len(json.load(handle)["traceEvents"])
+        print(f"# {args.design}/{args.workload} seed={args.seed}")
+        print(f"wrote {events} trace events to {out} "
+              "(load at https://ui.perfetto.dev)")
+        if result.epochs:
+            print(f"epoch series: {len(result.epochs['t_us'])} rows x "
+                  f"{len(result.epochs)} columns "
+                  f"(every {args.epoch_us} us)")
+        if result.profile:
+            from repro.obs.profiler import render_profile
+
+            print(render_profile(result.profile))
+        return 0
     if target == "campaign":
         designs = (args.designs.split(",") if args.designs
                    else list(EVALUATED_DESIGNS))
@@ -194,8 +234,17 @@ def main(argv=None) -> int:
             specs = full_suite()
         else:
             specs = representative_suite()
-        tasks = tasks_for(designs, specs, config=SystemConfig.small(),
-                          demands_per_core=args.demands, seeds=[args.seed])
+        config = SystemConfig.small()
+        trace_dir = None
+        if args.trace:
+            from repro.obs import ObsConfig
+
+            config = config.with_(obs=ObsConfig(trace=True))
+            cache = _cache(args)
+            trace_dir = str(cache.root) if cache is not None else ".tdram_cache"
+        tasks = tasks_for(designs, specs, config=config,
+                          demands_per_core=args.demands, seeds=[args.seed],
+                          trace_dir=trace_dir)
         outcome = run_campaign(
             tasks, jobs=args.jobs, cache=_cache(args),
             reuse_cache=args.resume, retries=args.retries,

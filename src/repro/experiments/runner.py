@@ -87,6 +87,11 @@ class RunResult:
     sim_events: int = 0
     #: RAS campaign counters + degradation state (empty when disabled)
     ras: Dict[str, int] = field(default_factory=dict)
+    #: columnar epoch time series (empty unless config.obs.epoch_us > 0);
+    #: schema in docs/tracing.md — pandas.DataFrame(result.epochs) works
+    epochs: Dict[str, List[float]] = field(default_factory=dict)
+    #: kernel-profiler digest (empty unless config.obs.profile)
+    profile: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.coerce_builtin()
@@ -121,6 +126,7 @@ def run_experiment(
     config: Optional[SystemConfig] = None,
     demands_per_core: int = 2000,
     seed: int = 42,
+    trace_out: Optional[str] = None,
 ) -> RunResult:
     """Simulate ``design`` under one workload and collect every metric.
 
@@ -133,6 +139,9 @@ def run_experiment(
         A :class:`WorkloadSpec` or a suite name like ``"ft.D"``.
     demands_per_core:
         The fixed work quantum each simulated core executes.
+    trace_out:
+        Path to write a Chrome/Perfetto trace to after the run; only
+        meaningful when ``config.obs.trace`` is on (see docs/tracing.md).
     """
     if isinstance(spec, str):
         spec = lookup_workload(spec)
@@ -141,7 +150,8 @@ def run_experiment(
         demand_stream(spec, config, core_id, config.cores, seed)
         for core_id in range(config.cores)
     ]
-    return _run(design, spec, config, streams, demands_per_core, seed)
+    return _run(design, spec, config, streams, demands_per_core, seed,
+                trace_out=trace_out)
 
 
 def _run(
@@ -152,6 +162,7 @@ def _run(
     demands_per_core: int,
     seed: int,
     prewarm_blocks=None,
+    trace_out: Optional[str] = None,
 ) -> RunResult:
     """Shared simulation core for generator- and trace-driven runs."""
     if design not in DESIGNS:
@@ -185,6 +196,9 @@ def _run(
             flush.occupancy.reset()
             flush.events.reset()
             flush.stalls = 0
+        obs = getattr(sink, "obs", None)
+        if obs is not None:
+            obs.on_warm()
 
     progress.on_warm = on_warm
     progress.on_all_done = sim.stop
@@ -266,6 +280,13 @@ def _run(
     ras = getattr(sink, "ras", None)
     if ras is not None:
         result.ras = ras.snapshot()
+    obs = getattr(sink, "obs", None)
+    if obs is not None:
+        obs.finalize()
+        result.epochs = obs.epoch_series()
+        result.profile = obs.profile_summary()
+        if trace_out is not None:
+            obs.write_trace(trace_out)
     return result.coerce_builtin()
 
 

@@ -14,6 +14,7 @@ tie-breaker for simultaneous events.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter_ns
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -50,6 +51,30 @@ class Simulator:
     >>> sim.run()
     >>> fired
     [5000]
+
+    Clock semantics of the three ways a :meth:`run` can end
+    ------------------------------------------------------
+    * ``until=`` bound reached — ``now`` is advanced **to the bound**,
+      even when future events remain queued, so chunked callers observe
+      ``now == until`` after every chunk;
+    * :meth:`stop` requested — ``now`` stays **at the last dispatched
+      event** (the stopping callback's time);
+    * ``max_events`` exhausted — ``now`` stays **at the last dispatched
+      event**, like ``stop``.
+
+    The asymmetry is deliberate: ``stop``/``max_events`` end a run
+    *early* (before any bound), so advancing the clock would invent
+    simulated time nothing observed; see :meth:`run` for why the bound
+    case must advance.
+
+    Profiling
+    ---------
+    :attr:`profiler` is ``None`` by default. Assign an object with a
+    ``record(callback, wall_ns)`` method (e.g.
+    :class:`repro.obs.KernelProfiler`) and the dispatch loop times
+    every callback with the host clock; with ``None`` the loop takes an
+    uninstrumented branch — no timestamps are read and dispatch order,
+    event counts, and results are unchanged either way.
     """
 
     def __init__(self) -> None:
@@ -58,6 +83,9 @@ class Simulator:
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._running = False
         self._stop_requested = False
+        #: optional profiler with ``record(callback, wall_ns)``; set by
+        #: the observability layer (``SystemConfig.obs.profile``)
+        self.profiler = None
 
     @property
     def now(self) -> int:
@@ -97,7 +125,9 @@ class Simulator:
             Absolute time bound (picoseconds). Events scheduled later than
             ``until`` stay in the queue.
         max_events:
-            Safety valve: stop after this many dispatches.
+            Safety valve: stop after this many dispatches. Like
+            :meth:`stop`, this ends the run *early*: the clock is left
+            at the last dispatched event, **not** advanced to ``until``.
 
         Returns
         -------
@@ -108,12 +138,17 @@ class Simulator:
         reached (rather than :meth:`stop` or ``max_events``), the clock
         is advanced to ``until`` even if later events remain queued, so
         chunked callers observe ``now == until`` after every chunk.
+        Without that guarantee a chunked caller (the experiment
+        runner's watchdog loop) whose next event lies beyond the chunk
+        boundary would re-run the same window forever and mis-account
+        stall time.
         """
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
         self._stop_requested = False
         dispatched = 0
+        profiler = self.profiler
         try:
             while self._queue and not self._stop_requested:
                 time, _seq, callback = self._queue[0]
@@ -123,7 +158,12 @@ class Simulator:
                 if time < self._now:
                     raise SimulationError("event queue time went backwards")
                 self._now = time
-                callback()
+                if profiler is None:
+                    callback()
+                else:
+                    begin = perf_counter_ns()
+                    callback()
+                    profiler.record(callback, perf_counter_ns() - begin)
                 dispatched += 1
                 if max_events is not None and dispatched >= max_events:
                     break
@@ -149,5 +189,12 @@ class Simulator:
 
         Useful when perpetual events (refresh) keep the queue non-empty
         and the caller's own completion condition ends the simulation.
+
+        After a stop, :attr:`now` is the time of the last dispatched
+        event — a stopped run never advances the clock to a pending
+        ``until=`` bound (the run ended early; no simulated time beyond
+        the stopping event was observed). ``max_events`` exhaustion
+        behaves identically. Only a run that genuinely reaches its
+        ``until`` bound snaps the clock forward to it; see :meth:`run`.
         """
         self._stop_requested = True

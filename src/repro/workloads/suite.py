@@ -14,7 +14,13 @@ from repro.errors import WorkloadError
 from repro.workloads.base import DemandRecord, MissClass, WorkloadSpec
 from repro.workloads.gapbs import gapbs_specs, gapbs_stream
 from repro.workloads.npb import npb_specs, npb_stream
-from repro.workloads.synthetic import synthetic_stream
+from repro.workloads.synthetic import (
+    hot_cold_spec,
+    stream_spec,
+    synthetic_stream,
+    uniform_spec,
+    write_storm_spec,
+)
 
 _STREAMS = {
     "npb": npb_stream,
@@ -40,6 +46,35 @@ def workload(name: str) -> WorkloadSpec:
             f"unknown workload {name!r}; choose from {sorted(table)}"
         )
     return table[name]
+
+
+def synthetic_workloads() -> Dict[str, WorkloadSpec]:
+    """Named synthetic microbenchmarks (outside the 28-workload suite).
+
+    ``"synthetic"`` is the generic default — a hot/cold mix exercising
+    hits, misses, and writebacks — used by ``tdram-repro trace``.
+    """
+    return {
+        "synthetic": hot_cold_spec(name="synthetic"),
+        "uniform": uniform_spec(),
+        "stream": stream_spec(),
+        "hot_cold": hot_cold_spec(),
+        "write_storm": write_storm_spec(),
+    }
+
+
+def any_workload(name: str) -> WorkloadSpec:
+    """Look up a suite workload *or* a named synthetic one."""
+    table = suite_by_name()
+    if name in table:
+        return table[name]
+    synthetic = synthetic_workloads()
+    if name in synthetic:
+        return synthetic[name]
+    raise WorkloadError(
+        f"unknown workload {name!r}; choose from "
+        f"{sorted(table) + sorted(synthetic)}"
+    )
 
 
 def miss_group(specs: Optional[List[WorkloadSpec]] = None,
