@@ -1,0 +1,40 @@
+"""Simulator-aware static analysis for the TDRAM reproduction.
+
+The simulator's headline guarantees — bit-identical parallel campaigns,
+per-seed reproducible fault injection, zero-perturbation tracing — rest
+on coding invariants that ordinary linters do not know about: no
+wall-clock reads or unseeded randomness inside simulated components, no
+float equality on timestamps, every counter read somewhere registered,
+no ordering-sensitive iteration feeding result serialization. This
+package is an AST-based lint engine with a registry of those rules
+(``SIM001``–``SIM010``), per-file and cross-file passes, inline
+``# tdram: noqa[RULE] -- reason`` suppressions, and a committed
+baseline file for grandfathered findings.
+
+Run it as ``python -m repro.analysis src/repro`` or
+``tdram-repro lint``; the rule catalogue lives in
+``docs/static-analysis.md``.
+"""
+
+from repro.analysis.engine import (
+    Analyzer,
+    Baseline,
+    Finding,
+    Report,
+    Rule,
+    SourceFile,
+    all_rules,
+)
+from repro.analysis.rules import BASELINE_RULES, SIM_RULES
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "Finding",
+    "Report",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "BASELINE_RULES",
+    "SIM_RULES",
+]

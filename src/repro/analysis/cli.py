@@ -1,0 +1,97 @@
+"""Command-line front end for the lint engine.
+
+Installed two ways::
+
+    python -m repro.analysis src/repro          # module form
+    tdram-repro lint src/repro --json           # CLI subcommand
+
+Exit codes: 0 clean, 1 findings, 2 usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.engine import Analyzer, Baseline, all_rules
+from repro.analysis.rules import BASELINE_RULES
+from repro.errors import ConfigError
+
+#: Default baseline location, repo-relative (missing file = empty).
+DEFAULT_BASELINE = "tools/lint_baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tdram-repro lint",
+        description="Simulator-aware static analysis (rules SIM001-SIM010; "
+                    "catalogue in docs/static-analysis.md).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories (default src/repro)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run (default all)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help=f"baseline JSON path (default {DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file entirely")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline path "
+                             "(justifications start as FIXME) and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _render_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        if rule.id.startswith("LNT"):
+            continue
+        kind = "cross-file" if rule.cross_file else "per-file"
+        lines.append(f"{rule.id}  {rule.title}  [{kind}]")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.analysis`` / ``tdram-repro lint``."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_render_rules())
+        return 0
+    select = args.select.split(",") if args.select else None
+    baseline_path = Path(args.baseline)
+    try:
+        baseline = Baseline() if (args.no_baseline or args.write_baseline) \
+            else Baseline.load(baseline_path, allowed_rules=set(BASELINE_RULES))
+        analyzer = Analyzer(select=select, baseline=baseline)
+        report = analyzer.run(args.paths)
+    except (ConfigError, OSError, ValueError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        not_allowed = [f for f in report.findings
+                       if f.rule not in BASELINE_RULES]
+        if not_allowed:
+            for finding in not_allowed:
+                print(finding.render(), file=sys.stderr)
+            print(f"lint: {len(not_allowed)} findings are for rules that "
+                  f"cannot be baselined ({sorted(BASELINE_RULES)} only); "
+                  "fix or suppress them inline first", file=sys.stderr)
+            return 2
+        baseline_path.write_text(Baseline.render(report.findings),
+                                 encoding="utf-8")
+        print(f"wrote {len(report.findings)} entries to {baseline_path} "
+              "(edit every FIXME justification)")
+        return 0
+    print(report.to_json() if args.json else report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,388 @@
+"""Lint engine: rule registry, passes, suppressions, baseline.
+
+The engine is deliberately simulator-agnostic — it knows how to parse
+sources, run per-file and cross-file rules, honour inline
+``# tdram: noqa[RULE] -- reason`` suppressions, and subtract a
+committed baseline. Everything TDRAM-specific lives in
+:mod:`repro.analysis.rules`.
+
+Suppression grammar (one per physical line, applies to findings on
+that line)::
+
+    x = host_clock()  # tdram: noqa[SIM001] -- host-side ETA, not sim state
+    y = f(a, b)       # tdram: noqa[SIM004,SIM010] -- reason text
+
+A suppression must name explicit rules *and* carry a reason; a bare
+``# tdram: noqa`` (or one without ``-- reason``) is itself reported as
+``LNT000`` so blanket switch-offs cannot accumulate silently.
+
+Baseline format (JSON, committed at ``tools/lint_baseline.json``)::
+
+    {"version": 1,
+     "entries": [{"rule": "SIM007", "path": "src/.../system.py",
+                  "message": "...", "justification": "why it stays"}]}
+
+Only cross-file rules listed in :data:`repro.analysis.rules.BASELINE_RULES`
+may be baselined — per-file invariants must be fixed or suppressed
+inline where the exemption is visible in review.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigError
+
+#: ``# tdram: noqa[SIM001,SIM002] -- reason`` (rules and reason optional
+#: in the grammar so LNT000 can diagnose incomplete forms).
+_NOQA = re.compile(
+    r"#\s*tdram:\s*noqa"
+    r"(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+    r"(?:\s*--\s*(?P<reason>\S.*))?"
+)
+
+#: Meta-rule ids emitted by the engine itself (not suppressible).
+META_BAD_NOQA = "LNT000"
+META_SYNTAX = "LNT001"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-number-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        """One ``path:line:col: RULE message`` line (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-ready representation for ``--json`` output."""
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# tdram: noqa`` comment on one line."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+class SourceFile:
+    """A parsed source file plus the metadata rules need to scope on."""
+
+    def __init__(self, path: Path, display: str, text: str) -> None:
+        self.path = path
+        #: repo-relative posix path used in findings and baselines
+        self.display = display
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.syntax_error: Optional[str] = None
+        try:
+            self.tree = ast.parse(text, filename=display)
+        except SyntaxError as exc:
+            self.syntax_error = f"{exc.msg} (line {exc.lineno})"
+        self.suppressions: List[Suppression] = []
+        self.bad_noqa: List[int] = []
+        self._parse_noqa()
+        self.module = self._module_name()
+        self.basename = Path(display).stem
+
+    # ------------------------------------------------------------------
+    def _parse_noqa(self) -> None:
+        # Tokenize so the pattern is only recognised in real comments —
+        # docstrings *describing* the grammar must not parse as noqa.
+        try:
+            tokens = list(tokenize.generate_tokens(
+                io.StringIO(self.text).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA.search(token.string)
+            if match is None:
+                continue
+            lineno = token.start[0]
+            rules = match.group("rules")
+            reason = match.group("reason")
+            if not rules or not reason:
+                self.bad_noqa.append(lineno)
+                continue
+            names = tuple(r.strip() for r in rules.split(",") if r.strip())
+            self.suppressions.append(
+                Suppression(line=lineno, rules=names, reason=reason.strip()))
+
+    def _module_name(self) -> Optional[str]:
+        """Dotted module path anchored at the ``repro`` package, if any."""
+        parts = list(Path(self.display).with_suffix("").parts)
+        if "repro" not in parts:
+            return None
+        dotted = parts[parts.index("repro"):]
+        if dotted[-1] == "__init__":
+            dotted = dotted[:-1]
+        return ".".join(dotted)
+
+    # ------------------------------------------------------------------
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether an inline noqa on the finding's line covers its rule."""
+        return any(s.line == finding.line and finding.rule in s.rules
+                   for s in self.suppressions)
+
+    def in_module(self, *prefixes: str) -> bool:
+        """Whether this file's module matches any dotted prefix."""
+        if self.module is None:
+            return False
+        return any(self.module == p or self.module.startswith(p + ".")
+                   for p in prefixes)
+
+
+class Rule:
+    """Base class for lint rules; subclasses register via :func:`register`.
+
+    Per-file rules override :meth:`check`; cross-file rules set
+    ``cross_file = True`` and override :meth:`check_project` (they see
+    every parsed source at once). ``exempt`` carves out module subtrees
+    or basenames the invariant does not apply to — exemptions that are
+    *policy* (CLI modules may print) belong there, exemptions that are
+    *judgement calls* belong in inline noqa comments at the use site.
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    cross_file: bool = False
+
+    def exempt(self, source: SourceFile) -> bool:
+        """Whether the rule is out of scope for this file entirely."""
+        return False
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Yield findings for one file (per-file rules)."""
+        return iter(())
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
+        """Yield findings needing whole-project context (cross-file rules)."""
+        return iter(())
+
+    # ------------------------------------------------------------------
+    def finding(self, source: SourceFile, node: ast.AST, message: str) -> Finding:
+        """Construct a finding anchored at an AST node."""
+        return Finding(rule=self.id, path=source.display,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0), message=message)
+
+
+_REGISTRY: Dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a :class:`Rule` subclass to the registry."""
+    if not cls.id:
+        raise ConfigError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ConfigError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, ordered by id."""
+    import repro.analysis.rules  # noqa: F401 - populates the registry
+
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+class Baseline:
+    """Committed grandfathered findings, loaded from JSON.
+
+    Every entry names a rule in ``allowed_rules``, a file, the exact
+    finding message, and a human justification; anything else is a
+    configuration error so the baseline cannot quietly grow into a
+    mute button for new rule classes.
+    """
+
+    def __init__(self, entries: Iterable[Dict[str, str]] = (),
+                 allowed_rules: Optional[Set[str]] = None) -> None:
+        self.entries: List[Dict[str, str]] = []
+        self._index: Set[Tuple[str, str, str]] = set()
+        for entry in entries:
+            rule = entry.get("rule", "")
+            path = entry.get("path", "")
+            message = entry.get("message", "")
+            justification = entry.get("justification", "").strip()
+            if allowed_rules is not None and rule not in allowed_rules:
+                raise ConfigError(
+                    f"baseline entry for {rule} not allowed: only "
+                    f"{sorted(allowed_rules)} may be baselined")
+            if not (rule and path and message and justification):
+                raise ConfigError(
+                    "baseline entries need rule, path, message and a "
+                    f"non-empty justification: {entry!r}")
+            if justification.startswith("FIXME"):
+                raise ConfigError(
+                    "baseline justification still reads FIXME — replace "
+                    f"the --write-baseline placeholder: {entry!r}")
+            self.entries.append(dict(entry))
+            self._index.add((rule, path, message))
+
+    @classmethod
+    def load(cls, path: Path,
+             allowed_rules: Optional[Set[str]] = None) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls((), allowed_rules)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return cls(payload.get("entries", ()), allowed_rules)
+
+    def covers(self, finding: Finding) -> bool:
+        """Whether a finding is grandfathered by this baseline."""
+        return finding.fingerprint in self._index
+
+    @staticmethod
+    def render(findings: Sequence[Finding]) -> str:
+        """Serialise findings as a fresh baseline document (to be
+        hand-edited: every justification starts as ``FIXME``)."""
+        entries = [{"rule": f.rule, "path": f.path, "message": f.message,
+                    "justification": "FIXME: justify or fix"}
+                   for f in sorted(findings, key=lambda f: f.fingerprint)]
+        return json.dumps({"version": 1, "entries": entries}, indent=1,
+                          sort_keys=True) + "\n"
+
+
+@dataclass
+class Report:
+    """Outcome of one analyzer run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        """Human output: one line per finding plus a summary."""
+        lines = [f.render() for f in self.findings]
+        extras = []
+        if self.suppressed:
+            extras.append(f"{len(self.suppressed)} suppressed")
+        if self.baselined:
+            extras.append(f"{len(self.baselined)} baselined")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        verdict = "OK" if self.ok else f"{len(self.findings)} findings"
+        lines.append(f"checked {self.files} files: {verdict}{suffix}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine output for ``--json``."""
+        return json.dumps({
+            "files": self.files,
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": [f.to_json() for f in self.suppressed],
+            "baselined": [f.to_json() for f in self.baselined],
+        }, indent=1, sort_keys=True)
+
+
+def _iter_sources(paths: Iterable[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def _display_path(path: Path) -> str:
+    """Stable repo-relative path when possible, else as given."""
+    try:
+        rel = os.path.relpath(path)
+    except ValueError:  # different drive (never on posix)
+        rel = str(path)
+    chosen = rel if not rel.startswith("..") else str(path)
+    return Path(chosen).as_posix()
+
+
+class Analyzer:
+    """Runs a rule set over a file tree and folds in the baseline."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None,
+                 baseline: Optional[Baseline] = None,
+                 select: Optional[Iterable[str]] = None) -> None:
+        self.rules = list(rules) if rules is not None else all_rules()
+        if select is not None:
+            wanted = set(select)
+            unknown = wanted - {rule.id for rule in self.rules}
+            if unknown:
+                raise ConfigError(f"unknown rule ids: {sorted(unknown)}")
+            self.rules = [r for r in self.rules if r.id in wanted]
+        self.baseline = baseline or Baseline()
+
+    # ------------------------------------------------------------------
+    def load(self, paths: Iterable[str]) -> List[SourceFile]:
+        """Parse every ``.py`` file under the given files/directories."""
+        sources = []
+        for path in _iter_sources(paths):
+            text = path.read_text(encoding="utf-8")
+            sources.append(SourceFile(path, _display_path(path), text))
+        return sources
+
+    def run(self, paths: Iterable[str]) -> Report:
+        """Analyze a tree: per-file rules, cross-file rules, meta checks."""
+        sources = self.load(paths)
+        report = Report(files=len(sources))
+        by_display = {src.display: src for src in sources}
+        raw: List[Finding] = []
+        for src in sources:
+            if src.syntax_error is not None:
+                report.findings.append(Finding(
+                    rule=META_SYNTAX, path=src.display, line=1, col=0,
+                    message=f"file does not parse: {src.syntax_error}"))
+                continue
+            for lineno in src.bad_noqa:
+                report.findings.append(Finding(
+                    rule=META_BAD_NOQA, path=src.display, line=lineno, col=0,
+                    message="tdram noqa must name rules and a reason: "
+                            "# tdram: noqa[SIM001] -- why"))
+            for rule in self.rules:
+                if rule.cross_file or rule.exempt(src):
+                    continue
+                raw.extend(rule.check(src))
+        parsed = [s for s in sources if s.tree is not None]
+        for rule in self.rules:
+            if rule.cross_file:
+                scoped = [s for s in parsed if not rule.exempt(s)]
+                raw.extend(rule.check_project(scoped))
+        for finding in sorted(raw, key=lambda f: (f.path, f.line, f.rule)):
+            src = by_display.get(finding.path)
+            if src is not None and src.suppressed(finding):
+                report.suppressed.append(finding)
+            elif self.baseline.covers(finding):
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return report

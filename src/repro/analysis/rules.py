@@ -1,0 +1,548 @@
+"""The SIM001–SIM010 rule set: simulator invariants as lint rules.
+
+Each rule encodes one invariant the simulator's reproducibility or
+result integrity depends on; the rationale strings below are surfaced
+by ``tdram-repro lint --list-rules`` and expanded with examples in
+``docs/static-analysis.md``. Rules are registered with the engine via
+the :func:`repro.analysis.engine.register` decorator.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import Finding, Rule, SourceFile, register
+
+#: Cross-file rules whose findings may live in the committed baseline
+#: (with justification); everything else must be fixed or suppressed
+#: inline at the use site.
+BASELINE_RULES = frozenset({"SIM006", "SIM007"})
+
+#: All rule ids this module provides, in catalogue order.
+SIM_RULES = tuple(f"SIM{n:03d}" for n in range(1, 11))
+
+#: Module basenames that are user-interface entry points (SIM010 and
+#: the wall-clock rule do not apply: a CLI may print and show ETAs).
+_CLI_BASENAMES = {"cli", "__main__"}
+
+
+def _import_map(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to canonical dotted origins.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import
+    perf_counter_ns as pc`` maps ``pc -> time.perf_counter_ns``.
+    """
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                table[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    return table
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Dotted name of a Name/Attribute chain, or None if dynamic."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _canonical(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Dotted name with the leading alias resolved through imports."""
+    dotted = _dotted(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = imports.get(head, head)
+    return f"{origin}.{rest}" if rest else origin
+
+
+def _terminal(node: ast.AST) -> Optional[str]:
+    """Last component of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@register
+class NoWallClock(Rule):
+    """SIM001 — no host wall-clock reads in simulated components."""
+
+    id = "SIM001"
+    title = "no wall-clock in sim paths"
+    rationale = (
+        "Simulated time is the kernel's integer picosecond clock; any "
+        "host-clock read (time.time, perf_counter, datetime.now) inside "
+        "a simulated component leaks nondeterminism into results and "
+        "invalidates the campaign cache key, which assumes a run is a "
+        "pure function of (design, workload, config, seed).")
+
+    _BANNED = (
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+        "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    )
+
+    def exempt(self, source: SourceFile) -> bool:
+        # Host-side orchestration (campaign ETA displays, report
+        # generation, this analysis package) may read the host clock;
+        # simulated components may not.
+        return (source.in_module("repro.experiments", "repro.analysis")
+                or source.basename in _CLI_BASENAMES)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        imports = _import_map(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _canonical(node.func, imports)
+            if name in self._BANNED:
+                yield self.finding(
+                    source, node,
+                    f"wall-clock read {name}() in a sim path; simulated "
+                    "components must use the kernel clock (sim.now)")
+
+
+@register
+class NoUnseededRandomness(Rule):
+    """SIM002 — all randomness flows through a seeded generator."""
+
+    id = "SIM002"
+    title = "no unseeded randomness"
+    rationale = (
+        "Module-level draws (random.random, np.random.rand) share hidden "
+        "global state seeded from the OS, so two runs with the same seed "
+        "diverge and the on-disk result cache silently serves results no "
+        "run can reproduce. Construct random.Random(seed) or "
+        "np.random.default_rng(seed) and thread it explicitly.")
+
+    #: Constructors that *are* the approved seeding mechanism — allowed
+    #: only when given an explicit seed/bit-generator argument.
+    _SEEDED = {
+        "random.Random", "numpy.random.default_rng",
+        "numpy.random.Generator", "numpy.random.SeedSequence",
+        "numpy.random.PCG64", "numpy.random.Philox", "numpy.random.MT19937",
+    }
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        imports = _import_map(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _canonical(node.func, imports)
+            if name is None or not (name.startswith("random.")
+                                    or name.startswith("numpy.random.")):
+                continue
+            if name in self._SEEDED:
+                if node.args or node.keywords:
+                    continue
+                yield self.finding(
+                    source, node,
+                    f"{name}() constructed without an explicit seed")
+                continue
+            yield self.finding(
+                source, node,
+                f"unseeded module-level randomness {name}(); draw from a "
+                "seeded Generator passed in explicitly")
+
+
+@register
+class NoFloatTimeEquality(Rule):
+    """SIM003 — no float ``==``/``!=`` on tick or timestamp values."""
+
+    id = "SIM003"
+    title = "no float equality on timestamps"
+    rationale = (
+        "Integer picoseconds (*_ps, sim.now) compare exactly; converted "
+        "float nanoseconds/microseconds (*_ns, *_us, to_ns(...)) do not. "
+        "An equality test on the float form works until one timing "
+        "parameter changes the rounding, then silently never fires.")
+
+    _SUFFIXES = ("_ns", "_us", "_ms")
+    _CONVERTERS = {"to_ns", "now_ns"}
+
+    def _is_float_time(self, node: ast.AST) -> bool:
+        terminal = _terminal(node)
+        if terminal is not None:
+            if terminal in self._CONVERTERS:
+                return True
+            if any(terminal.endswith(s) for s in self._SUFFIXES):
+                return True
+        if isinstance(node, ast.Call):
+            func = _terminal(node.func)
+            return func in self._CONVERTERS
+        return False
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                culprit = next((o for o in (left, right)
+                                if self._is_float_time(o)), None)
+                if culprit is not None:
+                    yield self.finding(
+                        source, node,
+                        f"float equality on timestamp expression "
+                        f"'{ast.unparse(culprit)}'; compare the integer "
+                        "picosecond form instead")
+
+
+@register
+class NoMutableDefaults(Rule):
+    """SIM004 — no mutable default arguments."""
+
+    id = "SIM004"
+    title = "no mutable default arguments"
+    rationale = (
+        "A mutable default ([], {}, set()) is created once at import and "
+        "shared by every call — state leaks across simulations within "
+        "one process, so a second run in the same interpreter sees the "
+        "first run's leftovers (exactly what the campaign worker pool, "
+        "which reuses processes, would amplify).")
+
+    _FACTORIES = {"list", "dict", "set", "defaultdict", "deque",
+                  "bytearray", "OrderedDict", "Counter"}
+
+    def _mutable(self, node: Optional[ast.AST]) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return _terminal(node.func) in self._FACTORIES
+        return False
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + \
+                [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._mutable(default):
+                    yield self.finding(
+                        source, default,
+                        f"mutable default argument in {node.name}(); "
+                        "default to None and construct inside the body")
+
+
+@register
+class NoConfigMutation(Rule):
+    """SIM005 — event handlers must not mutate the system configuration."""
+
+    id = "SIM005"
+    title = "no SystemConfig mutation"
+    rationale = (
+        "SystemConfig is frozen and hashed into the campaign cache key "
+        "before the run starts; a component mutating it mid-run (via "
+        "attribute assignment or object.__setattr__) would make the key "
+        "lie about what was simulated. Derive a new config with "
+        "config.with_(...) before the simulator is built instead.")
+
+    _CONFIG_NAMES = {"config", "cfg", "conf", "system_config", "sysconfig"}
+
+    def _config_like(self, node: ast.AST) -> bool:
+        terminal = _terminal(node)
+        return terminal in self._CONFIG_NAMES
+
+    def exempt(self, source: SourceFile) -> bool:
+        # The config package itself may use frozen-dataclass plumbing.
+        return source.in_module("repro.config")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and \
+                            self._config_like(target.value):
+                        yield self.finding(
+                            source, node,
+                            f"assignment to configuration attribute "
+                            f"'{ast.unparse(target)}'; configs are frozen "
+                            "inputs — use with_() before the run")
+            elif isinstance(node, ast.Call):
+                func = _dotted(node.func)
+                if func in ("setattr", "object.__setattr__") and node.args \
+                        and self._config_like(node.args[0]):
+                    yield self.finding(
+                        source, node,
+                        "setattr on a configuration object; configs are "
+                        "frozen inputs — use with_() before the run")
+
+
+#: Attribute names that hold a CounterSet by repo convention; literal
+#: subscripts on these receivers are treated as counter reads.
+_COUNTER_RECEIVERS = {"outcomes", "events", "counters", "counts", "ops"}
+#: Module-level ALL-CAPS constants with these suffixes declare counter
+#: names produced dynamically (e.g. f-string categories).
+_DECLARING_SUFFIXES = ("_CATEGORIES", "_COUNTERS")
+
+
+@register
+class CountersDeclared(Rule):
+    """SIM006 — every literal counter read is declared somewhere."""
+
+    id = "SIM006"
+    title = "counter reads must be declared"
+    cross_file = True
+    rationale = (
+        "CounterSet.__getitem__ returns 0 for unknown names, so a typo "
+        "in a read site ('writeback' vs 'writebacks') reports a silent "
+        "zero forever. Every name read via a literal subscript or "
+        ".total((...)) must appear in an .add()/.declare() call or a "
+        "*_CATEGORIES/*_COUNTERS constant somewhere in the tree.")
+
+    def _declared(self, sources: Sequence[SourceFile]) -> Set[str]:
+        names: Set[str] = set()
+        for src in sources:
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.Call) and \
+                        isinstance(node.func, ast.Attribute) and \
+                        node.func.attr in ("add", "declare"):
+                    for arg in node.args[:1] if node.func.attr == "add" \
+                            else node.args:
+                        if isinstance(arg, ast.Constant) and \
+                                isinstance(arg.value, str):
+                            names.add(arg.value)
+                elif isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name) and \
+                                target.id.isupper() and \
+                                target.id.endswith(_DECLARING_SUFFIXES):
+                            for const in ast.walk(node.value):
+                                if isinstance(const, ast.Constant) and \
+                                        isinstance(const.value, str):
+                                    names.add(const.value)
+        return names
+
+    def _reads(self, src: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
+        # Inside a class whose name (or base name) mentions "Counter",
+        # ``self[...]``/``self.total(...)`` are counter reads too.
+        class_stack: List[bool] = []
+
+        def visit(node: ast.AST) -> Iterator[Tuple[ast.AST, str]]:
+            if isinstance(node, ast.ClassDef):
+                names = [node.name] + \
+                    [t for t in (_terminal(b) for b in node.bases) if t]
+                class_stack.append(any("Counter" in n for n in names))
+            if isinstance(node, ast.Subscript):
+                receiver = _terminal(node.value)
+                counterish = receiver in _COUNTER_RECEIVERS or (
+                    receiver == "self" and any(class_stack))
+                if counterish and isinstance(node.slice, ast.Constant) and \
+                        isinstance(node.slice.value, str):
+                    yield node, node.slice.value
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "total":
+                receiver = _terminal(node.func.value)
+                if receiver in _COUNTER_RECEIVERS or (
+                        receiver == "self" and any(class_stack)):
+                    for arg in node.args:
+                        if isinstance(arg, (ast.Tuple, ast.List)):
+                            for elt in arg.elts:
+                                if isinstance(elt, ast.Constant) and \
+                                        isinstance(elt.value, str):
+                                    yield elt, elt.value
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child)
+            if isinstance(node, ast.ClassDef):
+                class_stack.pop()
+
+        yield from visit(src.tree)
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
+        declared = self._declared(sources)
+        for src in sources:
+            for node, name in self._reads(src):
+                if name not in declared:
+                    yield self.finding(
+                        src, node,
+                        f"counter '{name}' is read but never added or "
+                        "declared anywhere in the tree (reads of unknown "
+                        "counters silently return 0)")
+
+
+@register
+class ConfigKnobsConsumed(Rule):
+    """SIM007 — every config dataclass field is consumed somewhere."""
+
+    id = "SIM007"
+    title = "no dead configuration knobs"
+    cross_file = True
+    rationale = (
+        "A sweep over a config field nothing reads produces distinct "
+        "cache keys for identical simulations — quiet nonsense that "
+        "looks like a null result. Every field of the *Config "
+        "dataclasses must have at least one attribute-access consumer "
+        "in the tree (or a baseline entry explaining why it stays).")
+
+    def _config_classes(self, sources: Sequence[SourceFile]) \
+            -> Iterator[Tuple[SourceFile, ast.ClassDef]]:
+        for src in sources:
+            defines_configs = src.in_module("repro.config")
+            for node in ast.walk(src.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                decorated = any(
+                    (_terminal(d) or "") == "dataclass" or
+                    (isinstance(d, ast.Call) and
+                     (_terminal(d.func) or "") == "dataclass")
+                    for d in node.decorator_list)
+                if decorated and (defines_configs
+                                  or node.name.endswith("Config")):
+                    yield src, node
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
+        consumed: Set[str] = set()
+        for src in sources:
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.Attribute):
+                    consumed.add(node.attr)
+        for src, cls in self._config_classes(sources):
+            for stmt in cls.body:
+                if not isinstance(stmt, ast.AnnAssign) or \
+                        not isinstance(stmt.target, ast.Name):
+                    continue
+                name = stmt.target.id
+                if name.startswith("_"):
+                    continue
+                annotation = ast.unparse(stmt.annotation)
+                if "ClassVar" in annotation:
+                    continue
+                if name not in consumed:
+                    yield self.finding(
+                        src, stmt,
+                        f"config field {cls.name}.{name} is never consumed "
+                        "(no attribute access anywhere in the tree) — a "
+                        "dead knob that still perturbs the cache key")
+
+
+@register
+class NoSetIterationOrder(Rule):
+    """SIM008 — no ordering-sensitive iteration over sets."""
+
+    id = "SIM008"
+    title = "no unordered set iteration"
+    cross_file = False
+    rationale = (
+        "String hashing is salted per interpreter (PYTHONHASHSEED), so "
+        "iterating a set yields a different order every process — any "
+        "list, JSON document, or schedule built from it differs across "
+        "runs and workers. Wrap the set in sorted() before iterating.")
+
+    _CONSUMERS = {"list", "tuple", "enumerate", "iter"}
+
+    def _set_like(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and \
+                _dotted(node.func) in ("set", "frozenset"):
+            return True
+        if isinstance(node, ast.BinOp) and \
+                isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub,
+                                     ast.BitXor)):
+            return self._set_like(node.left) or self._set_like(node.right)
+        return False
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            iters: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                func = _dotted(node.func)
+                if func in self._CONSUMERS and node.args:
+                    iters.append(node.args[0])
+                elif isinstance(node.func, ast.Attribute) and \
+                        node.func.attr == "join" and node.args:
+                    iters.append(node.args[0])
+            for candidate in iters:
+                if self._set_like(candidate):
+                    yield self.finding(
+                        source, candidate,
+                        "iteration over a set has salted-hash order; wrap "
+                        "in sorted() to keep output deterministic")
+
+
+@register
+class PublicApiDocstrings(Rule):
+    """SIM009 — public ``repro.obs``/``repro.ras`` APIs keep docstrings."""
+
+    id = "SIM009"
+    title = "public obs/ras APIs documented"
+    rationale = (
+        "The observability and RAS layers are the repo's debugging "
+        "surface; CI has gated them at 100% public docstring coverage "
+        "since they shipped. This rule absorbs tools/check_docstrings.py "
+        "so one engine reports everything.")
+
+    def exempt(self, source: SourceFile) -> bool:
+        return not source.in_module("repro.obs", "repro.ras")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        if ast.get_docstring(source.tree) is None:
+            yield self.finding(source, source.tree,
+                               "public module is missing a docstring")
+        stack: List[Tuple[str, ast.AST]] = [("", source.tree)]
+        while stack:
+            prefix, node = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                    name = f"{prefix}{child.name}"
+                    stack.append((f"{name}.", child))
+                    if not child.name.startswith("_") and \
+                            ast.get_docstring(child) is None:
+                        yield self.finding(
+                            source, child,
+                            f"public API {name} is missing a docstring")
+
+
+@register
+class NoPrintInLibrary(Rule):
+    """SIM010 — no ``print()`` in library code."""
+
+    id = "SIM010"
+    title = "no print() outside CLI modules"
+    rationale = (
+        "Library-level prints corrupt machine-readable output (JSON "
+        "results on stdout), interleave nondeterministically under the "
+        "campaign process pool, and can't be silenced by callers. "
+        "Return strings or write to an explicit stream; only CLI entry "
+        "points own stdout.")
+
+    def exempt(self, source: SourceFile) -> bool:
+        return source.basename in _CLI_BASENAMES
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id == "print":
+                yield self.finding(
+                    source, node,
+                    "print() in library code; return a string or take an "
+                    "explicit stream (CLI modules own stdout)")

@@ -22,7 +22,7 @@ as before — the codeword fields are inert.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.cache.request import Outcome
 from repro.errors import ConfigError, RasError
@@ -186,7 +186,8 @@ class TagStore:
             return None
         return self.install(block, dirty=False)
 
-    def bulk_install(self, blocks, dirty_flags) -> None:
+    def bulk_install(self, blocks: Iterable[int],
+                     dirty_flags: Iterable[bool]) -> None:
         """Fast-path warm-up: install many lines without LRU churn.
 
         Used to emulate the paper's warmed checkpoints (§IV-B): the

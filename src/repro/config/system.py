@@ -90,6 +90,15 @@ class SystemConfig:
             raise ConfigError("cores must be positive")
         if self.cache_ways <= 0:
             raise ConfigError("cache_ways must be positive")
+        if self.cache_channels <= 0 or self.mm_channels <= 0:
+            raise ConfigError("channel counts must be positive")
+        if self.cache_banks_per_channel <= 0 or self.mm_banks_per_channel <= 0:
+            raise ConfigError("banks per channel must be positive")
+        # Fail bad sweep configs fast: an inconsistent timing table
+        # (e.g. tRCD > tRAS) otherwise simulates quiet nonsense.
+        self.cache_timing.validate()
+        self.mm_timing.validate()
+        self.tag_timing.validate()
 
     @property
     def scale(self) -> float:
@@ -119,7 +128,7 @@ class SystemConfig:
         blocks = int(paper_footprint_bytes * self.scale) // 64
         return max(64, blocks)
 
-    def with_(self, **changes) -> "SystemConfig":
+    def with_(self, **changes: object) -> "SystemConfig":
         """Functional update (frozen dataclass convenience)."""
         return replace(self, **changes)
 

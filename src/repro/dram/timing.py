@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TimingError
 from repro.sim.kernel import ns
 
 
@@ -41,6 +41,31 @@ class TagTiming:
         §III-C4: ``tRCD_TAG + tHM = 15 ns`` matches RLDRAM's read latency.
         """
         return self.tRCD_TAG + self.tHM
+
+    def validate(self) -> None:
+        """Check tag-mat timing consistency; raises :class:`TimingError`.
+
+        Called by :class:`~repro.config.system.SystemConfig` at
+        construction so a sweep over tag timings cannot silently produce
+        a mat that finishes a probe before it started.
+        """
+        positive = ("tRCD_TAG", "tHM", "tHM_int", "tRTP_TAG", "tRRD_TAG",
+                    "tWR_TAG", "tRTW_TAG", "tRC_TAG")
+        for name in positive:
+            if getattr(self, name) <= 0:
+                raise TimingError(
+                    f"tag timing {name} must be positive, got "
+                    f"{getattr(self, name)} ps")
+        if self.tRC_TAG < self.tRCD_TAG:
+            raise TimingError(
+                f"tag row cycle tRC_TAG ({self.tRC_TAG} ps) cannot be "
+                f"shorter than its activate delay tRCD_TAG "
+                f"({self.tRCD_TAG} ps)")
+        if self.tRC_TAG < self.tRCD_TAG + self.tRTP_TAG:
+            raise TimingError(
+                f"tag row cycle tRC_TAG ({self.tRC_TAG} ps) cannot be "
+                f"shorter than tRCD_TAG + tRTP_TAG "
+                f"({self.tRCD_TAG + self.tRTP_TAG} ps)")
 
 
 @dataclass(frozen=True)
@@ -80,6 +105,50 @@ class DramTiming:
             raise ConfigError("tRAS and tRP must be positive")
         if self.tBURST <= 0:
             raise ConfigError("tBURST must be positive")
+
+    def validate(self) -> None:
+        """Check data-bank timing consistency; raises :class:`TimingError`.
+
+        ``__post_init__`` keeps only the cheap always-on positivity
+        checks (tests construct partial tables freely);
+        :class:`~repro.config.system.SystemConfig` calls this full
+        validation once per constructed system, so a bad sweep config
+        fails fast with the violated constraint named.
+        """
+        if self.clock_ghz <= 0 or self.data_rate_gbps <= 0:
+            raise TimingError(
+                f"bus rates must be positive: clock_ghz={self.clock_ghz}, "
+                f"data_rate_gbps={self.data_rate_gbps}")
+        positive = ("tBURST", "tRCD", "tRCD_WR", "tCCD_L", "tRP", "tRAS",
+                    "tCL", "tCWL", "tRRD", "tXAW", "tRL_core", "tRTW_int",
+                    "tWR", "tRTW", "tWTR", "tCMD", "tREFI", "tRFC")
+        for name in positive:
+            if getattr(self, name) <= 0:
+                raise TimingError(
+                    f"timing {name} must be positive, got "
+                    f"{getattr(self, name)} ps")
+        if self.activates_per_window < 1:
+            raise TimingError(
+                f"activates_per_window must be >= 1, got "
+                f"{self.activates_per_window}")
+        if self.tRCD > self.tRAS:
+            raise TimingError(
+                f"tRCD ({self.tRCD} ps) cannot exceed tRAS "
+                f"({self.tRAS} ps): a row must stay open at least until "
+                "its column access is allowed")
+        if self.tRCD_WR > self.tRAS:
+            raise TimingError(
+                f"tRCD_WR ({self.tRCD_WR} ps) cannot exceed tRAS "
+                f"({self.tRAS} ps)")
+        if self.tXAW < self.tRRD:
+            raise TimingError(
+                f"rolling activation window tXAW ({self.tXAW} ps) cannot "
+                f"be shorter than one activate gap tRRD ({self.tRRD} ps)")
+        if self.tRFC >= self.tREFI:
+            raise TimingError(
+                f"refresh cycle tRFC ({self.tRFC} ps) must fit inside "
+                f"the refresh interval tREFI ({self.tREFI} ps), or the "
+                "device never leaves refresh")
 
     @property
     def tRC(self) -> int:

@@ -13,6 +13,14 @@ class ConfigError(ReproError):
     """An invalid or inconsistent configuration value was supplied."""
 
 
+class TimingError(ConfigError):
+    """A DRAM timing table is internally inconsistent (e.g. tRCD > tRAS).
+
+    Raised at :class:`~repro.config.system.SystemConfig` construction so
+    a bad sweep configuration fails fast with the violated constraint
+    named, instead of simulating quiet nonsense."""
+
+
 class SimulationError(ReproError):
     """The simulation reached an illegal state (e.g. time went backwards)."""
 

@@ -147,6 +147,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", action="store_true",
                         help="campaign: record a Chrome trace per run "
                              "beside its cached result")
+    parser.add_argument("--determinism", action="store_true",
+                        help="selfcheck: also run one synthetic workload "
+                             "twice with the same seed and require "
+                             "bit-identical counters/epochs")
     return parser
 
 
@@ -165,18 +169,31 @@ def _progress(done: int, total: int, label: str, source: str,
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # The lint engine owns its own flags (--json, --select, ...),
+        # so it gets the raw argv tail instead of this parser.
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(list(argv[1:]))
     args = _build_parser().parse_args(argv)
     target = args.target.lower()
     if target == "list":
         names = sorted(list(_CONTEXT_FIGURES) + list(_STANDALONE)
-                       + ["campaign", "ras", "run", "report", "selfcheck",
-                          "suite", "trace", "trace-capture", "trace-stats"])
+                       + ["campaign", "lint", "ras", "run", "report",
+                          "selfcheck", "suite", "trace", "trace-capture",
+                          "trace-stats"])
         print("available targets:", ", ".join(names))
         return 0
     if target == "selfcheck":
         from repro.validation import render_selfcheck, run_selfcheck
 
         results = run_selfcheck()
+        if args.determinism:
+            from repro.validation import run_determinism_check
+
+            results = results + run_determinism_check(seed=args.seed)
         print(render_selfcheck(results))
         return 0 if all(r.passed for r in results) else 1
     if target == "suite":

@@ -74,6 +74,7 @@ class FaultInjector:
         self.recent.append(block)
 
     def start(self) -> None:
+        """Schedule the first injection tick on the simulation kernel."""
         self.sim.schedule(self._interval, self._tick)
 
     # ------------------------------------------------------------------

@@ -74,9 +74,11 @@ class RasManager:
     # Tag-store hook interface
     # ------------------------------------------------------------------
     def encode_line(self, block: int, dirty: bool) -> int:
+        """SECDED-encode one tag line for storage in the tag mats."""
         return self.engine.encode_line(block, dirty)
 
     def block_disabled(self, block: int) -> bool:
+        """Whether a block maps to a fused-off (degraded) bank."""
         return self.degrade.block_disabled(block)
 
     def on_tag_read(self, line, block: int) -> Optional[int]:
@@ -144,12 +146,14 @@ class RasManager:
         self.controller._writeback(block)
 
     def dropped_fill(self) -> None:
+        """Count a fill dropped because its frame's bank is fused off."""
         self.counters.add("dropped_fill_degraded")
 
     # ------------------------------------------------------------------
     # HM-bus packet faults
     # ------------------------------------------------------------------
     def arm_hm_fault(self) -> None:
+        """Queue one HM-bus packet fault for the next result read."""
         self._pending_hm_faults += 1
 
     def hm_result_read(self) -> int:

@@ -50,6 +50,7 @@ class PatrolScrubber:
         self._set_keys: List[int] = []
 
     def start(self) -> None:
+        """Schedule the first patrol pass on the simulation kernel."""
         self.sim.schedule(self._interval, self._pass)
 
     # ------------------------------------------------------------------

@@ -52,6 +52,7 @@ class TagEccEngine:
         return result
 
     def is_clean(self, codeword: int) -> bool:
+        """Whether a stored codeword decodes with no error at all."""
         from repro.core.ecc import EccOutcome
 
         return self.decode(codeword).outcome is EccOutcome.CLEAN

@@ -161,9 +161,12 @@ class Simulator:
                 if profiler is None:
                     callback()
                 else:
-                    begin = perf_counter_ns()
+                    # Host wall time feeds only the profiler digest,
+                    # never simulated state; the profiler-off branch
+                    # reads no clock at all (locked by tests).
+                    begin = perf_counter_ns()  # tdram: noqa[SIM001] -- host-side profiling only, sim state untouched
                     callback()
-                    profiler.record(callback, perf_counter_ns() - begin)
+                    profiler.record(callback, perf_counter_ns() - begin)  # tdram: noqa[SIM001] -- host-side profiling only, sim state untouched
                 dispatched += 1
                 if max_events is not None and dispatched >= max_events:
                     break

@@ -148,6 +148,59 @@ def run_selfcheck(
     return results
 
 
+def run_determinism_check(demands_per_core: int = 150,
+                          seed: int = 11) -> List[CheckResult]:
+    """Dynamic determinism gate: the same seed must reproduce bit-identically.
+
+    The static rules SIM001/SIM002 (no wall-clock, no unseeded
+    randomness; see docs/static-analysis.md) make this property likely;
+    this check *measures* it: one short synthetic workload is simulated
+    twice with identical inputs and every deterministic output surface —
+    counters, dispatched-event count, runtime, and the epoch time
+    series — must match exactly. Exposed as ``tdram-repro selfcheck
+    --determinism`` and relied on by the campaign result cache (a cache
+    hit asserts a re-run would have produced the same bytes).
+    """
+    from dataclasses import asdict
+
+    from repro.config.system import SystemConfig
+    from repro.experiments.runner import run_experiment
+    from repro.obs.config import ObsConfig
+    from repro.workloads.suite import any_workload
+
+    config = SystemConfig.small().with_(obs=ObsConfig(epoch_us=5.0))
+    spec = any_workload("synthetic")
+
+    def once():
+        result = run_experiment("tdram", spec, config=config,
+                                demands_per_core=demands_per_core, seed=seed)
+        payload = asdict(result)
+        payload.pop("profile", None)  # host wall time, legitimately varies
+        return payload
+
+    first, second = once(), once()
+    results: List[CheckResult] = []
+
+    def compare(name: str, key: str) -> None:
+        a, b = first[key], second[key]
+        passed = a == b
+        detail = "bit-identical" if passed else f"run 1 {a!r} != run 2 {b!r}"
+        results.append(CheckResult(name=name, passed=passed, detail=detail))
+
+    compare("same seed reproduces every counter (events)", "events")
+    compare("same seed dispatches the same kernel events", "sim_events")
+    compare("same seed reaches the same runtime", "runtime_ps")
+    compare("same seed reproduces the epoch time series", "epochs")
+    leftover = {key for key in first
+                if first[key] != second[key]}
+    results.append(CheckResult(
+        name="every remaining RunResult field is identical",
+        passed=not leftover,
+        detail="all fields match" if not leftover
+        else f"diverging fields: {sorted(leftover)}"))
+    return results
+
+
 def render_selfcheck(results: List[CheckResult]) -> str:
     lines = []
     for result in results:

@@ -1,0 +1,629 @@
+"""Tests for the static-analysis engine (repro.analysis).
+
+Each rule gets positive (flagged) and negative (clean) fixture
+snippets; the engine-level features — noqa suppressions, the committed
+baseline, cross-file passes, CLI exit codes — are exercised end to end
+on temporary trees.
+"""
+
+from __future__ import annotations
+
+import json
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis import Analyzer, Baseline, BASELINE_RULES
+from repro.analysis.cli import main as lint_main
+from repro.errors import ConfigError
+
+
+def lint(tmp_path, files, select=None, baseline=None):
+    """Write fixture files under tmp_path and run the analyzer."""
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(dedent(text), encoding="utf-8")
+    analyzer = Analyzer(select=select, baseline=baseline)
+    return analyzer.run([str(tmp_path)])
+
+
+def rules_of(report):
+    return [f.rule for f in report.findings]
+
+
+# ----------------------------------------------------------------------
+# SIM001 - wall clock
+# ----------------------------------------------------------------------
+class TestWallClock:
+    def test_flags_time_time(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            import time
+            def tick():
+                return time.time()
+            """}, select=["SIM001"])
+        assert rules_of(report) == ["SIM001"]
+        assert "time.time" in report.findings[0].message
+
+    def test_flags_from_import_alias(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            from time import perf_counter_ns as pc
+            def tick():
+                return pc()
+            """}, select=["SIM001"])
+        assert rules_of(report) == ["SIM001"]
+
+    def test_flags_datetime_now(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            from datetime import datetime
+            def stamp():
+                return datetime.now()
+            """}, select=["SIM001"])
+        assert rules_of(report) == ["SIM001"]
+
+    def test_sim_now_is_clean(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def tick(sim):
+                return sim.now
+            """}, select=["SIM001"])
+        assert report.ok
+
+    def test_experiments_modules_exempt(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/experiments/eta.py": """\
+            import time
+            def eta():
+                return time.monotonic()
+            """}, select=["SIM001"])
+        assert report.ok
+
+    def test_cli_basename_exempt(self, tmp_path):
+        report = lint(tmp_path, {"cli.py": """\
+            import time
+            def eta():
+                return time.monotonic()
+            """}, select=["SIM001"])
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# SIM002 - unseeded randomness
+# ----------------------------------------------------------------------
+class TestUnseededRandomness:
+    def test_flags_module_level_draw(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            import random
+            def jitter():
+                return random.random()
+            """}, select=["SIM002"])
+        assert rules_of(report) == ["SIM002"]
+
+    def test_flags_np_random_rand(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            import numpy as np
+            def noise(n):
+                return np.random.rand(n)
+            """}, select=["SIM002"])
+        assert rules_of(report) == ["SIM002"]
+
+    def test_flags_unseeded_default_rng(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            import numpy as np
+            def gen():
+                return np.random.default_rng()
+            """}, select=["SIM002"])
+        assert rules_of(report) == ["SIM002"]
+        assert "without an explicit seed" in report.findings[0].message
+
+    def test_seeded_constructors_clean(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            import random
+            import numpy as np
+            def gens(seed):
+                return random.Random(seed), np.random.default_rng(seed)
+            """}, select=["SIM002"])
+        assert report.ok
+
+    def test_instance_draws_clean(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def draw(rng):
+                return rng.random()
+            """}, select=["SIM002"])
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# SIM003 - float equality on timestamps
+# ----------------------------------------------------------------------
+class TestFloatTimeEquality:
+    def test_flags_ns_attribute_equality(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def same(a, b):
+                return a.mean_ns == b.mean_ns
+            """}, select=["SIM003"])
+        assert rules_of(report) == ["SIM003"]
+
+    def test_flags_to_ns_call(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def done(sim, deadline):
+                return to_ns(sim.now) != deadline
+            """}, select=["SIM003"])
+        assert rules_of(report) == ["SIM003"]
+
+    def test_integer_ps_comparison_clean(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def done(now_ps, deadline_ps):
+                return now_ps == deadline_ps
+            """}, select=["SIM003"])
+        assert report.ok
+
+    def test_ordering_comparison_clean(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def late(a_ns, b_ns):
+                return a_ns > b_ns
+            """}, select=["SIM003"])
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# SIM004 - mutable defaults
+# ----------------------------------------------------------------------
+class TestMutableDefaults:
+    @pytest.mark.parametrize("default", ["[]", "{}", "set()", "dict()",
+                                         "defaultdict(int)"])
+    def test_flags_mutable_default(self, tmp_path, default):
+        report = lint(tmp_path, {"mod.py": f"""\
+            from collections import defaultdict
+            def f(x, acc={default}):
+                return acc
+            """}, select=["SIM004"])
+        assert rules_of(report) == ["SIM004"]
+
+    def test_flags_kwonly_default(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def f(*, acc=[]):
+                return acc
+            """}, select=["SIM004"])
+        assert rules_of(report) == ["SIM004"]
+
+    def test_none_default_clean(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def f(x, acc=None, n=3, name="x"):
+                return acc or []
+            """}, select=["SIM004"])
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# SIM005 - config mutation
+# ----------------------------------------------------------------------
+class TestConfigMutation:
+    def test_flags_attribute_assignment(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def handler(self):
+                self.config.cores = 4
+            """}, select=["SIM005"])
+        assert rules_of(report) == ["SIM005"]
+
+    def test_flags_object_setattr(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def handler(config):
+                object.__setattr__(config, "cores", 4)
+            """}, select=["SIM005"])
+        assert rules_of(report) == ["SIM005"]
+
+    def test_with_underscore_update_clean(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def derive(config):
+                return config.with_(cores=4)
+            """}, select=["SIM005"])
+        assert report.ok
+
+    def test_config_package_exempt(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/config/system.py": """\
+            def thaw(config):
+                object.__setattr__(config, "cores", 4)
+            """}, select=["SIM005"])
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# SIM006 - counter reads declared (cross-file)
+# ----------------------------------------------------------------------
+class TestCountersDeclared:
+    def test_flags_read_of_never_added_counter(self, tmp_path):
+        report = lint(tmp_path, {
+            "writer.py": """\
+                def record(self):
+                    self.events.add("writebacks")
+                """,
+            "reader.py": """\
+                def report(metrics):
+                    return metrics.events["write_backs"]
+                """,
+        }, select=["SIM006"])
+        assert rules_of(report) == ["SIM006"]
+        assert "write_backs" in report.findings[0].message
+
+    def test_add_in_another_file_satisfies_read(self, tmp_path):
+        report = lint(tmp_path, {
+            "writer.py": """\
+                def record(self):
+                    self.events.add("writebacks")
+                """,
+            "reader.py": """\
+                def report(metrics):
+                    return metrics.events["writebacks"]
+                """,
+        }, select=["SIM006"])
+        assert report.ok
+
+    def test_categories_constant_declares_names(self, tmp_path):
+        report = lint(tmp_path, {
+            "writer.py": """\
+                BREAKDOWN_CATEGORIES = ("read_hit", "read_miss")
+                def record(self, kind):
+                    self.outcomes.add(f"{kind}_hit")
+                """,
+            "reader.py": """\
+                def hits(metrics):
+                    return metrics.outcomes["read_hit"]
+                """,
+        }, select=["SIM006"])
+        assert report.ok
+
+    def test_total_tuple_in_counter_class_checked(self, tmp_path):
+        report = lint(tmp_path, {"counters.py": """\
+            class RasCounters(CounterSet):
+                def corrected(self):
+                    return self.total(("tag_corrected",))
+            """}, select=["SIM006"])
+        assert rules_of(report) == ["SIM006"]
+
+    def test_non_counter_subscript_ignored(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def get(table):
+                return table["anything"]
+            """}, select=["SIM006"])
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# SIM007 - dead config knobs (cross-file)
+# ----------------------------------------------------------------------
+class TestConfigKnobsConsumed:
+    def test_flags_unconsumed_field(self, tmp_path):
+        report = lint(tmp_path, {
+            "conf.py": """\
+                from dataclasses import dataclass
+                @dataclass(frozen=True)
+                class FooConfig:
+                    depth: int = 4
+                    unused_knob: int = 64
+                """,
+            "user.py": """\
+                def build(config):
+                    return config.depth
+                """,
+        }, select=["SIM007"])
+        assert rules_of(report) == ["SIM007"]
+        assert "unused_knob" in report.findings[0].message
+
+    def test_consumed_everywhere_clean(self, tmp_path):
+        report = lint(tmp_path, {
+            "conf.py": """\
+                from dataclasses import dataclass
+                @dataclass
+                class FooConfig:
+                    depth: int = 4
+                """,
+            "user.py": """\
+                def build(config):
+                    return config.depth
+                """,
+        }, select=["SIM007"])
+        assert report.ok
+
+    def test_non_config_dataclass_ignored(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            from dataclasses import dataclass
+            @dataclass
+            class Result:
+                never_read_elsewhere: int = 0
+            """}, select=["SIM007"])
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# SIM008 - set iteration order
+# ----------------------------------------------------------------------
+class TestSetIteration:
+    def test_flags_for_over_set_call(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def dump(names):
+                for name in set(names):
+                    emit(name)
+            """}, select=["SIM008"])
+        assert rules_of(report) == ["SIM008"]
+
+    def test_flags_list_of_set_difference(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def leftovers(a, b):
+                return list(set(a) - set(b))
+            """}, select=["SIM008"])
+        assert rules_of(report) == ["SIM008"]
+
+    def test_flags_comprehension_over_set_literal(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def rows(x):
+                return [f(v) for v in {x, x + 1}]
+            """}, select=["SIM008"])
+        assert rules_of(report) == ["SIM008"]
+
+    def test_sorted_wrap_clean(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def dump(a, b):
+                for name in sorted(set(a) - set(b)):
+                    emit(name)
+                return sorted({x for x in a})
+            """}, select=["SIM008"])
+        assert report.ok
+
+    def test_membership_and_len_clean(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def stats(a, b):
+                seen = set(a)
+                return (b in seen), len(seen)
+            """}, select=["SIM008"])
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# SIM009 - obs/ras docstrings
+# ----------------------------------------------------------------------
+class TestPublicDocstrings:
+    def test_flags_missing_docstring_in_obs(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/obs/widget.py": '''\
+            """Module docstring."""
+            def public_api():
+                return 1
+            '''}, select=["SIM009"])
+        assert rules_of(report) == ["SIM009"]
+        assert "public_api" in report.findings[0].message
+
+    def test_private_and_documented_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/ras/widget.py": '''\
+            """Module docstring."""
+            def public_api():
+                """Documented."""
+            def _private():
+                return 1
+            '''}, select=["SIM009"])
+        assert report.ok
+
+    def test_other_packages_out_of_scope(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/cache/widget.py": """\
+            def public_api():
+                return 1
+            """}, select=["SIM009"])
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# SIM010 - print in library code
+# ----------------------------------------------------------------------
+class TestNoPrint:
+    def test_flags_print(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def debug(x):
+                print(x)
+            """}, select=["SIM010"])
+        assert rules_of(report) == ["SIM010"]
+
+    def test_cli_module_exempt(self, tmp_path):
+        report = lint(tmp_path, {"cli.py": """\
+            def main():
+                print("hello")
+            """}, select=["SIM010"])
+        assert report.ok
+
+    def test_docstring_example_not_flagged(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": '''\
+            def render(bar):
+                """Render.
+
+                >>> print(render(None))  # doctest example, not a call
+                """
+                return str(bar)
+            '''}, select=["SIM010"])
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# Engine: suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_noqa_with_rule_and_reason_suppresses(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def debug(x):
+                print(x)  # tdram: noqa[SIM010] -- debugging aid kept on purpose
+            """}, select=["SIM010"])
+        assert report.ok
+        assert len(report.suppressed) == 1
+
+    def test_noqa_for_other_rule_does_not_suppress(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def debug(x):
+                print(x)  # tdram: noqa[SIM001] -- wrong rule listed
+            """}, select=["SIM010"])
+        assert rules_of(report) == ["SIM010"]
+
+    def test_bare_noqa_is_its_own_finding(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def debug(x):
+                print(x)  # tdram: noqa
+            """}, select=["SIM010"])
+        assert sorted(rules_of(report)) == ["LNT000", "SIM010"]
+
+    def test_noqa_without_reason_is_its_own_finding(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": """\
+            def debug(x):
+                print(x)  # tdram: noqa[SIM010]
+            """}, select=["SIM010"])
+        assert "LNT000" in rules_of(report)
+
+    def test_pattern_inside_docstring_ignored(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": '''\
+            """Explains the grammar: # tdram: noqa means nothing here."""
+            '''}, select=["SIM010"])
+        assert report.ok
+
+    def test_syntax_error_reported_not_crashed(self, tmp_path):
+        report = lint(tmp_path, {"mod.py": "def broken(:\n"},
+                      select=["SIM010"])
+        assert rules_of(report) == ["LNT001"]
+
+
+# ----------------------------------------------------------------------
+# Engine: baseline semantics
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def _dead_knob_files(self):
+        return {
+            "conf.py": """\
+                from dataclasses import dataclass
+                @dataclass
+                class FooConfig:
+                    unused_knob: int = 64
+                """,
+        }
+
+    def test_baselined_finding_does_not_fail(self, tmp_path):
+        first = lint(tmp_path, self._dead_knob_files(), select=["SIM007"])
+        assert len(first.findings) == 1
+        entry = first.findings[0]
+        baseline = Baseline([{
+            "rule": entry.rule, "path": entry.path,
+            "message": entry.message, "justification": "kept for fidelity",
+        }], allowed_rules=set(BASELINE_RULES))
+        second = Analyzer(select=["SIM007"], baseline=baseline) \
+            .run([str(tmp_path)])
+        assert second.ok
+        assert len(second.baselined) == 1
+
+    def test_baseline_rejects_per_file_rules(self):
+        with pytest.raises(ConfigError):
+            Baseline([{"rule": "SIM010", "path": "x.py", "message": "m",
+                       "justification": "j"}],
+                     allowed_rules=set(BASELINE_RULES))
+
+    def test_baseline_requires_justification(self):
+        with pytest.raises(ConfigError):
+            Baseline([{"rule": "SIM007", "path": "x.py", "message": "m",
+                       "justification": "  "}],
+                     allowed_rules=set(BASELINE_RULES))
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert baseline.entries == []
+
+
+# ----------------------------------------------------------------------
+# CLI: exit codes and output modes
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("def f(x):\n    return x\n")
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def f(x):\n    print(x)\n")
+        assert lint_main([str(tmp_path), "--no-baseline"]) == 1
+        assert "SIM010" in capsys.readouterr().out
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path), "--select", "SIM999"]) == 2
+
+    def test_exit_two_on_bad_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"entries": [
+            {"rule": "SIM010", "path": "x", "message": "m",
+             "justification": "j"}]}))
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert lint_main([str(tmp_path), "--baseline", str(bad)]) == 2
+
+    def test_json_output_schema(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def f(x):\n    print(x)\n")
+        assert lint_main([str(tmp_path), "--no-baseline", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files"] == 1
+        assert payload["findings"][0]["rule"] == "SIM010"
+        assert {"path", "line", "col", "message"} <= \
+            set(payload["findings"][0])
+
+    def test_list_rules_catalogue(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for n in range(1, 11):
+            assert f"SIM{n:03d}" in out
+
+    def test_write_baseline_refuses_per_file_rules(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def f(x):\n    print(x)\n")
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(tmp_path), "--baseline", str(baseline),
+                          "--write-baseline"]) == 2
+        assert not baseline.exists()
+
+    def test_write_baseline_roundtrip(self, tmp_path, capsys):
+        (tmp_path / "conf.py").write_text(dedent("""\
+            from dataclasses import dataclass
+            @dataclass
+            class FooConfig:
+                unused_knob: int = 64
+            """))
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(tmp_path), "--baseline", str(baseline),
+                          "--write-baseline"]) == 0
+        assert baseline.exists()
+        # FIXME justifications must be edited before the file loads.
+        with pytest.raises(ConfigError):
+            Baseline.load(baseline, allowed_rules=set(BASELINE_RULES))
+        payload = json.loads(baseline.read_text())
+        payload["entries"][0]["justification"] = "documented fidelity knob"
+        baseline.write_text(json.dumps(payload))
+        assert lint_main([str(tmp_path), "--baseline", str(baseline)]) == 0
+
+    def test_tdram_repro_lint_subcommand(self, tmp_path, capsys):
+        from repro.experiments.cli import main as cli_main
+
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert cli_main(["lint", str(tmp_path), "--no-baseline"]) == 0
+
+
+# ----------------------------------------------------------------------
+# The repository itself stays clean
+# ----------------------------------------------------------------------
+class TestRepositoryClean:
+    def test_src_repro_lints_clean_against_committed_baseline(self):
+        import repro
+
+        from pathlib import Path
+
+        src = Path(repro.__file__).resolve().parent
+        root = src.parent.parent
+        baseline = Baseline.load(root / "tools" / "lint_baseline.json",
+                                 allowed_rules=set(BASELINE_RULES))
+        report = Analyzer(baseline=baseline).run([str(src)])
+        assert report.ok, "\n" + report.render()
+
+    def test_committed_baseline_only_cross_file_rules(self):
+        import repro
+
+        from pathlib import Path
+
+        root = Path(repro.__file__).resolve().parent.parent.parent
+        baseline = Baseline.load(root / "tools" / "lint_baseline.json",
+                                 allowed_rules=set(BASELINE_RULES))
+        for entry in baseline.entries:
+            assert entry["rule"] in BASELINE_RULES
+            assert entry["justification"].strip()

@@ -10,7 +10,7 @@ from repro.dram.timing import (
     ndc_tag_timing,
     rldram_like_tag_timing,
 )
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TimingError
 from repro.sim.kernel import ns
 
 
@@ -102,3 +102,42 @@ class TestDdr5AndValidation:
             DramTiming(tRAS=0)
         with pytest.raises(ConfigError):
             DramTiming(tBURST=0)
+
+
+class TestFullValidation:
+    """`validate()` consistency checks run at SystemConfig construction."""
+
+    def test_default_tables_validate(self):
+        hbm3_cache_timing().validate()
+        ddr5_timing().validate()
+        rldram_like_tag_timing().validate()
+
+    def test_trcd_exceeding_tras_rejected(self):
+        bad = DramTiming(tRCD=ns(40), tRAS=ns(28))
+        with pytest.raises(TimingError, match="tRCD"):
+            bad.validate()
+
+    def test_refresh_cycle_must_fit_interval(self):
+        bad = DramTiming(tRFC=ns(4000), tREFI=ns(3900))
+        with pytest.raises(TimingError, match="tRFC"):
+            bad.validate()
+
+    def test_nonpositive_parameter_named_in_error(self):
+        bad = DramTiming(tCL=0)
+        with pytest.raises(TimingError, match="tCL"):
+            bad.validate()
+
+    def test_tag_row_cycle_shorter_than_activate_rejected(self):
+        bad = TagTiming(tRC_TAG=ns(5))
+        with pytest.raises(TimingError, match="tRC_TAG"):
+            bad.validate()
+
+    def test_timing_error_is_config_error(self):
+        assert issubclass(TimingError, ConfigError)
+
+    def test_system_config_rejects_inconsistent_sweep_table(self):
+        from repro.config.system import SystemConfig
+
+        with pytest.raises(TimingError):
+            SystemConfig.small().with_(
+                cache_timing=DramTiming(tRCD=ns(40), tRAS=ns(28)))
