@@ -5,6 +5,12 @@ Runs the same designs x workloads batch twice — ``jobs=1`` and
 clock and simulator throughput (dispatched cache events per second) to
 ``BENCH_campaign.json``: the perf trajectory's first datapoint.
 
+On a single-core host the parallel leg is skipped (recorded as
+``"parallel": null`` / ``"speedup": null``): a process pool cannot beat
+serial there, and recording the inevitable slowdown would only poison
+the perf trajectory. ``cpu_count`` in the record is always the true
+host count, so downstream tooling can tell the two cases apart.
+
 Run standalone (the CI campaign job does)::
 
     python benchmarks/bench_campaign.py --jobs 4
@@ -49,17 +55,24 @@ def bench_campaign(
     tasks = tasks_for(designs, specs, config=config, demands_per_core=demands,
                       seeds=[seed])
 
+    cpu_count = os.cpu_count() or 1
     serial = run_campaign(tasks, jobs=1)
-    parallel = run_campaign(tasks, jobs=jobs)
 
-    identical = all(
-        dataclasses.asdict(a) == dataclasses.asdict(b)
-        for a, b in zip(serial.results, parallel.results)
-    )
+    # A serial-vs-parallel comparison is meaningless on a single-core
+    # host (process pools only add overhead there), so the parallel leg
+    # is skipped and recorded as null rather than as a fake slowdown.
+    parallel = None
+    identical = True
+    if cpu_count >= 2:
+        parallel = run_campaign(tasks, jobs=jobs)
+        identical = all(
+            dataclasses.asdict(a) == dataclasses.asdict(b)
+            for a, b in zip(serial.results, parallel.results)
+        )
     events = _total_events(serial.results)
     record = {
         "bench": "campaign",
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "designs": designs,
         "workloads": [spec.name for spec in specs],
         "demands_per_core": demands,
@@ -76,9 +89,9 @@ def bench_campaign(
             "wall_s": round(parallel.wall_s, 3),
             "events_per_sec": round(events / parallel.wall_s)
             if parallel.wall_s else 0,
-        },
-        "speedup": round(serial.wall_s / parallel.wall_s, 3)
-        if parallel.wall_s else 0.0,
+        } if parallel is not None else None,
+        "speedup": (round(serial.wall_s / parallel.wall_s, 3)
+                    if parallel is not None and parallel.wall_s else None),
         "bit_identical": identical,
     }
     if out:
@@ -96,6 +109,11 @@ def test_bench_campaign(tmp_path):
     print(json.dumps(record, indent=1, sort_keys=True))
     assert record["bit_identical"]
     assert record["tasks"] == 4
+    if (os.cpu_count() or 1) >= 2:
+        assert record["parallel"] is not None
+    else:
+        assert record["parallel"] is None
+        assert record["speedup"] is None
     assert json.loads(out.read_text()) == record
 
 
@@ -125,7 +143,8 @@ def main(argv=None) -> int:
     if not record["bit_identical"]:
         print("FAIL: parallel results differ from serial", file=sys.stderr)
         return 1
-    if args.min_speedup and record["speedup"] < args.min_speedup:
+    if args.min_speedup and record["speedup"] is not None \
+            and record["speedup"] < args.min_speedup:
         print(f"FAIL: speedup {record['speedup']} < {args.min_speedup}",
               file=sys.stderr)
         return 1

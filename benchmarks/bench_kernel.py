@@ -1,0 +1,159 @@
+"""Scheduler microbenchmark: raw event throughput of the sim kernel.
+
+Exercises ``repro.sim.kernel.Simulator`` in isolation — no cache model,
+no DRAM timing — so the number is the ceiling any full-system run can
+reach. Three scenarios, all with empty callbacks:
+
+``stream``
+    K self-rescheduling chains with a fixed short delay: the steady
+    request-path shape (every event lands in the current or next
+    ladder bucket).
+``mixed_horizon``
+    Delays cycled over sub-bucket, in-ring and beyond-ring horizons, so
+    the bucket ring *and* the overflow heap (plus its migration step)
+    are all on the measured path.
+``cancel``
+    Schedule a window of events and cancel every other one before it
+    fires — the O(1) tombstone path plus dispatch-side draining.
+
+Writes ``BENCH_kernel.json``. Run standalone (the CI perf-smoke job
+does)::
+
+    python benchmarks/bench_kernel.py
+    python benchmarks/bench_kernel.py --events 500000 --out BENCH_kernel.json
+
+or through pytest (``pytest benchmarks/bench_kernel.py -s``), which
+uses a reduced event count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional
+
+from repro.sim.kernel import Simulator
+
+#: delay pattern for the mixed-horizon scenario (ps): sub-bucket, ring,
+#: and past the 4096-bucket horizon into the overflow heap
+_HORIZONS = (700, 2_500, 60_000, 900_000, 5_000_000)
+
+
+def _bench_stream(events: int, chains: int = 8) -> float:
+    sim = Simulator()
+    fired = 0
+
+    def tick() -> None:
+        nonlocal fired
+        fired += 1
+        if fired + chains <= events:
+            sim.schedule(1_000, tick)
+
+    for i in range(chains):
+        sim.at(i * 100, tick)
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    assert fired == (events // chains) * chains or fired <= events
+    return fired / wall if wall else 0.0
+
+
+def _bench_mixed_horizon(events: int) -> float:
+    sim = Simulator()
+    fired = 0
+    horizons = _HORIZONS
+    nh = len(horizons)
+
+    def tick() -> None:
+        nonlocal fired
+        fired += 1
+        if fired < events:
+            sim.schedule(horizons[fired % nh], tick)
+
+    sim.at(0, tick)
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    assert fired == events
+    return fired / wall if wall else 0.0
+
+
+def _bench_cancel(events: int) -> float:
+    sim = Simulator()
+    fired = 0
+
+    def tick() -> None:
+        nonlocal fired
+        fired += 1
+
+    start = time.perf_counter()
+    handles = [sim.at(1_000 + i * 10, tick) for i in range(events)]
+    for handle in handles[::2]:
+        sim.cancel(handle)
+    sim.run()
+    wall = time.perf_counter() - start
+    assert fired == events - len(handles[::2])
+    # schedules + cancels + dispatches all count as scheduler operations
+    return (events + len(handles[::2])) / wall if wall else 0.0
+
+
+def bench_kernel(events: int = 200_000,
+                 out: Optional[str] = "BENCH_kernel.json") -> dict:
+    """Measure scheduler-only event throughput; write ``out``."""
+    record = {
+        "bench": "kernel",
+        "events": events,
+        "queue": Simulator.DEFAULT_QUEUE,
+        "scenarios": {
+            "stream": {
+                "events_per_sec": round(_bench_stream(events)),
+            },
+            "mixed_horizon": {
+                "events_per_sec": round(_bench_mixed_horizon(events)),
+            },
+            "cancel": {
+                "ops_per_sec": round(_bench_cancel(events)),
+            },
+        },
+    }
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=1, sort_keys=True)
+    return record
+
+
+def test_bench_kernel(tmp_path):
+    """Pytest entry: tiny event count, asserts every scenario ran."""
+    out = tmp_path / "BENCH_kernel.json"
+    record = bench_kernel(events=5_000, out=str(out))
+    print()
+    print(json.dumps(record, indent=1, sort_keys=True))
+    assert record["scenarios"]["stream"]["events_per_sec"] > 0
+    assert record["scenarios"]["mixed_horizon"]["events_per_sec"] > 0
+    assert record["scenarios"]["cancel"]["ops_per_sec"] > 0
+    assert json.loads(out.read_text()) == record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=200_000)
+    parser.add_argument("--out", default="BENCH_kernel.json")
+    parser.add_argument("--min-events-per-sec", type=float, default=None,
+                        help="exit nonzero if the stream scenario falls "
+                             "below this floor")
+    args = parser.parse_args(argv)
+    record = bench_kernel(events=args.events, out=args.out)
+    print(json.dumps(record, indent=1, sort_keys=True))
+    floor = args.min_events_per_sec
+    if floor and record["scenarios"]["stream"]["events_per_sec"] < floor:
+        print(f"FAIL: stream events/sec "
+              f"{record['scenarios']['stream']['events_per_sec']} < {floor}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

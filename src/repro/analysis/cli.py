@@ -26,7 +26,7 @@ DEFAULT_BASELINE = "tools/lint_baseline.json"
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tdram-repro lint",
-        description="Simulator-aware static analysis (rules SIM001-SIM010; "
+        description="Simulator-aware static analysis (rules SIM001-SIM011; "
                     "catalogue in docs/static-analysis.md).",
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"],

@@ -1,4 +1,4 @@
-"""The SIM001–SIM010 rule set: simulator invariants as lint rules.
+"""The SIM001–SIM011 rule set: simulator invariants as lint rules.
 
 Each rule encodes one invariant the simulator's reproducibility or
 result integrity depends on; the rationale strings below are surfaced
@@ -20,7 +20,7 @@ from repro.analysis.engine import Finding, Rule, SourceFile, register
 BASELINE_RULES = frozenset({"SIM006", "SIM007"})
 
 #: All rule ids this module provides, in catalogue order.
-SIM_RULES = tuple(f"SIM{n:03d}" for n in range(1, 11))
+SIM_RULES = tuple(f"SIM{n:03d}" for n in range(1, 12))
 
 #: Module basenames that are user-interface entry points (SIM010 and
 #: the wall-clock rule do not apply: a CLI may print and show ETAs).
@@ -546,3 +546,59 @@ class NoPrintInLibrary(Rule):
                     source, node,
                     "print() in library code; return a string or take an "
                     "explicit stream (CLI modules own stdout)")
+
+
+@register
+class NoClosureOnDispatchPath(Rule):
+    """SIM011 — no per-event closure allocation on dispatch paths."""
+
+    id = "SIM011"
+    title = "no closures in event scheduling"
+    rationale = (
+        "sim.at()/sim.schedule() run once per simulated event — the "
+        "hottest loop in the tree. A lambda (or functools.partial) "
+        "argument allocates a fresh closure and cell objects for every "
+        "event; the scheduler already stores trailing arguments on the "
+        "event handle, so ``sim.at(t, self._writeback, block)`` carries "
+        "the same state with zero extra allocation. The campaign-scale "
+        "cost of the closure idiom is what the ladder-queue rewrite "
+        "removed; this rule keeps it from creeping back into "
+        "repro.sim/cache/dram.")
+
+    _SCHEDULERS = {"at", "schedule"}
+
+    def exempt(self, source: SourceFile) -> bool:
+        # Only the per-event dispatch paths are hot enough to matter;
+        # host-side orchestration and tests may close over freely.
+        return not source.in_module("repro.sim", "repro.cache",
+                                    "repro.dram")
+
+    def _is_partial(self, node: ast.AST) -> bool:
+        return isinstance(node, ast.Call) and \
+            (_terminal(node.func) or "") == "partial"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _terminal(node.func) not in self._SCHEDULERS:
+                continue
+            # Only method-style calls (sim.at(...), self.sim.schedule())
+            # are scheduler calls; a bare at()/schedule() name is
+            # something else.
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            args = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in args:
+                if isinstance(arg, ast.Lambda):
+                    yield self.finding(
+                        source, arg,
+                        "lambda allocated per scheduled event; pass the "
+                        "callable and its arguments separately — "
+                        "at(t, callback, *args) stores them on the handle")
+                elif self._is_partial(arg):
+                    yield self.finding(
+                        source, arg,
+                        "functools.partial allocated per scheduled event; "
+                        "at(t, callback, *args) already carries trailing "
+                        "arguments without the extra object")

@@ -72,10 +72,9 @@ class CascadeLakeCache(DramCacheController):
             self._record_queue_delay(op.demand, now)
             grant = self._access(channel_idx, op.bank, now, is_write=False,
                                  with_data=True)
-            demand = op.demand
             assert grant.data_end is not None
-            self.sim.at(grant.data_end,
-                        lambda: self._on_tag_data(channel_idx, demand, grant.data_end))
+            self.sim.at(grant.data_end, self._on_tag_data,
+                        channel_idx, op.demand, grant.data_end)
         elif op.kind is OpKind.DATA_WRITE:
             self._access(channel_idx, op.bank, now, is_write=True, with_data=True)
             if op.is_fill:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import abc
 import enum
 import itertools
-from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 from repro.cache.metrics import CacheMetrics
@@ -51,20 +51,35 @@ class OpKind(enum.Enum):
 _op_sequence = itertools.count()
 
 
-@dataclass
 class CacheOp:
-    """One queued DRAM-cache operation."""
+    """One queued DRAM-cache operation.
 
-    kind: OpKind
-    block: int
-    bank: int
-    arrive: int
-    demand: Optional[DemandRequest] = None
-    is_fill: bool = False
-    #: set when an early probe found a dirty miss: the MAIN slot only
-    #: streams this victim out (the demand itself is served via MSHR)
-    victim_block: Optional[int] = None
-    seq: int = field(default_factory=lambda: next(_op_sequence))
+    A plain ``__slots__`` class rather than a dataclass: controllers
+    allocate one per queued operation on the simulation hot path, and
+    slotted instances skip the per-object ``__dict__``.
+    """
+
+    __slots__ = ("kind", "block", "bank", "arrive", "demand", "is_fill",
+                 "victim_block", "seq")
+
+    def __init__(self, kind: OpKind, block: int, bank: int, arrive: int,
+                 demand: Optional[DemandRequest] = None,
+                 is_fill: bool = False,
+                 victim_block: Optional[int] = None) -> None:
+        self.kind = kind
+        self.block = block
+        self.bank = bank
+        self.arrive = arrive
+        self.demand = demand
+        self.is_fill = is_fill
+        #: set when an early probe found a dirty miss: the MAIN slot only
+        #: streams this victim out (the demand itself is served via MSHR)
+        self.victim_block = victim_block
+        self.seq = next(_op_sequence)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheOp({self.kind.value}, blk={self.block:#x}, "
+                f"bank={self.bank}, seq={self.seq})")
 
 
 class ChannelScheduler:
@@ -329,8 +344,7 @@ class DramCacheController(abc.ABC):
         # fetch cannot overtake older demands at the backing store.
         order = demand.seq if demand is not None else None
         self.main_memory.read(
-            block, lambda time: self._on_fetch_return(block, time),
-            order=order,
+            block, partial(self._on_fetch_return, block), order=order,
         )
 
     def _on_fetch_return(self, block: int, time: int) -> None:

@@ -67,13 +67,13 @@ class IdealCache(DramCacheController):
             if op.victim_block is not None:
                 victim = op.victim_block
                 self.metrics.ledger.move("victim_readout", 64, useful=False)
-                self.sim.at(data_end, lambda: self._writeback(victim))
+                self.sim.at(data_end, self._writeback, victim)
                 return
             demand = op.demand
             assert demand is not None
             self._record_queue_delay(demand, now)
             self.metrics.ledger.move("hit_data", 64, useful=True)
-            self.sim.at(data_end, lambda: self._complete_read(demand, data_end))
+            self.sim.at(data_end, self._complete_read, demand, data_end)
         elif op.kind is OpKind.DATA_WRITE:
             self._access(channel_idx, op.bank, now, is_write=True, with_data=True)
             if op.is_fill:

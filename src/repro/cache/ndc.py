@@ -71,4 +71,4 @@ class NdcCache(TdramCache):
             end = channel.transfer_raw(time, 64, Direction.READ)
             self.meter.add_dq_bytes(64)
             self.metrics.ledger.move("flush_unload", 64, useful=False)
-            self.sim.at(end, lambda block=block: self._writeback(block))
+            self.sim.at(end, self._writeback, block)

@@ -7,6 +7,8 @@ workloads relative to it, while NDC and TDRAM speed them up.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.cache.metrics import CacheMetrics
 from repro.cache.request import DemandRequest, Op
 from repro.config.system import SystemConfig
@@ -45,8 +47,7 @@ class NoCacheSystem:
         if request.op is Op.READ:
             self._inflight_reads += 1
             self.main_memory.read(
-                request.block_addr,
-                lambda time: self._on_read_done(request, time),
+                request.block_addr, partial(self._on_read_done, request),
             )
         else:
             self.main_memory.write(request.block_addr)

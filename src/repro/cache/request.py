@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 
@@ -36,27 +35,38 @@ class Outcome(enum.Enum):
 _sequence = itertools.count()
 
 
-@dataclass
 class DemandRequest:
-    """One 64 B demand travelling through the memory system."""
+    """One 64 B demand travelling through the memory system.
 
-    op: Op
-    block_addr: int
-    core_id: int = 0
-    #: synthetic instruction address (region id) for MAP-I prediction
-    pc: int = 0
-    seq: int = field(default_factory=lambda: next(_sequence))
-    #: set by the controller when the demand enters its queues
-    arrive_time: int = -1
-    #: completion callback (front end wiring); receives finish time
-    on_complete: Optional[Callable[[int], None]] = None
-    #: design bookkeeping
-    tag_result_time: int = -1      #: when hit/miss became known at controller
-    issue_time: int = -1           #: first DRAM-cache action for this demand
-    probed: bool = False           #: TDRAM early-probe already answered it
-    outcome: Optional[Outcome] = None
-    victim_block: Optional[int] = None
-    completed: bool = False
+    A ``__slots__`` class: one instance is allocated per demand on the
+    simulation hot path, so the per-object ``__dict__`` is worth
+    avoiding.
+    """
+
+    __slots__ = ("op", "block_addr", "core_id", "pc", "seq", "arrive_time",
+                 "on_complete", "tag_result_time", "issue_time", "probed",
+                 "outcome", "victim_block", "completed")
+
+    def __init__(self, op: Op, block_addr: int, core_id: int = 0,
+                 pc: int = 0,
+                 on_complete: Optional[Callable[[int], None]] = None) -> None:
+        self.op = op
+        self.block_addr = block_addr
+        self.core_id = core_id
+        #: synthetic instruction address (region id) for MAP-I prediction
+        self.pc = pc
+        self.seq = next(_sequence)
+        #: set by the controller when the demand enters its queues
+        self.arrive_time = -1
+        #: completion callback (front end wiring); receives finish time
+        self.on_complete = on_complete
+        # design bookkeeping
+        self.tag_result_time = -1  #: when hit/miss became known at controller
+        self.issue_time = -1       #: first DRAM-cache action for this demand
+        self.probed = False        #: TDRAM early-probe already answered it
+        self.outcome: Optional[Outcome] = None
+        self.victim_block: Optional[int] = None
+        self.completed = False
 
     @property
     def is_read(self) -> bool:

@@ -21,32 +21,43 @@ as before — the codeword fields are inert.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.cache.request import Outcome
 from repro.errors import ConfigError, RasError
 
 
-@dataclass
 class _Line:
-    block: int
-    dirty: bool
-    #: stored SECDED codeword (meaningful only with a RAS hook attached)
-    codeword: int = 0
-    #: transient read-disturb overlay, XORed onto the next read
-    soft: int = 0
+    """One resident tag line (``__slots__``: allocated per cached block)."""
+
+    __slots__ = ("block", "dirty", "codeword", "soft")
+
+    def __init__(self, block: int, dirty: bool, codeword: int = 0) -> None:
+        self.block = block
+        self.dirty = dirty
+        #: stored SECDED codeword (meaningful only with a RAS hook attached)
+        self.codeword = codeword
+        #: transient read-disturb overlay, XORed onto the next read
+        self.soft = 0
 
 
-@dataclass(frozen=True)
 class LookupResult:
-    """Outcome of probing the tag store, plus the would-be victim."""
+    """Outcome of probing the tag store, plus the would-be victim.
 
-    outcome: Outcome
-    victim_block: Optional[int] = None   #: conflicting resident block (on miss)
-    victim_dirty: bool = False
-    #: added latency from ECC corrections/retries on this tag read (ps)
-    ecc_penalty_ps: int = 0
+    A ``__slots__`` value object: one is allocated per tag probe on the
+    simulation hot path.
+    """
+
+    __slots__ = ("outcome", "victim_block", "victim_dirty", "ecc_penalty_ps")
+
+    def __init__(self, outcome: Outcome, victim_block: Optional[int] = None,
+                 victim_dirty: bool = False, ecc_penalty_ps: int = 0) -> None:
+        self.outcome = outcome
+        #: conflicting resident block (on miss)
+        self.victim_block = victim_block
+        self.victim_dirty = victim_dirty
+        #: added latency from ECC corrections/retries on this tag read (ps)
+        self.ecc_penalty_ps = ecc_penalty_ps
 
 
 class TagStore:
@@ -62,6 +73,11 @@ class TagStore:
         self.num_sets = num_frames // ways
         #: set index -> LRU-ordered lines (index 0 = LRU, last = MRU)
         self._sets: Dict[int, List[_Line]] = {}
+        #: lazy prewarm backing: sets ``[0, _lazy_n)`` not present in
+        #: ``_sets`` hold one line ``_Line(idx, _lazy_dirty[idx])`` that is
+        #: materialised on first touch (see ``bulk_install``)
+        self._lazy_n = 0
+        self._lazy_dirty: Optional[List[bool]] = None
         #: RAS hook (repro.ras.manager.RasManager) — None = ECC disabled
         self.ras = None
         #: ways fused off by the degradation manager (never all of them)
@@ -75,11 +91,34 @@ class TagStore:
         return block % self.num_sets
 
     def _find(self, block: int) -> Tuple[List[_Line], Optional[_Line]]:
-        lines = self._sets.setdefault(self.set_index(block), [])
+        idx = block % self.num_sets
+        lines = self._sets.get(idx)
+        if lines is None:
+            lines = self._materialize(idx)
         for line in lines:
             if line.block == block:
                 return lines, line
         return lines, None
+
+    def _materialize(self, idx: int) -> List[_Line]:
+        """First touch of a set: realise its lazy prewarm line (if any)."""
+        if idx < self._lazy_n:
+            lines = [_Line(idx, bool(self._lazy_dirty[idx]))]
+        else:
+            lines = []
+        self._sets[idx] = lines
+        return lines
+
+    def _materialize_all(self) -> None:
+        """Realise every remaining lazy prewarm line (whole-store walks)."""
+        n, dirty = self._lazy_n, self._lazy_dirty
+        if not n:
+            return
+        self._lazy_n, self._lazy_dirty = 0, None
+        sets = self._sets
+        for idx in range(n):
+            if idx not in sets:
+                sets[idx] = [_Line(idx, bool(dirty[idx]))]
 
     # ------------------------------------------------------------------
     # Probes (no state change beyond LRU touch on hit)
@@ -195,20 +234,46 @@ class TagStore:
         timed simulation starts. Later installs to a full set evict in
         arrival order.
         """
+        # Numpy arrays convert to native lists once up front; the loop
+        # below then runs on plain ints (cheaper hashing and compares).
+        if hasattr(blocks, "tolist"):
+            blocks = blocks.tolist()
+        if hasattr(dirty_flags, "tolist"):
+            dirty_flags = dirty_flags.tolist()
         capacity = self.available_ways
+        sets = self._sets
+        num_sets = self.num_sets
+        ras = self.ras
+        if (ras is None and not sets and not self._lazy_n
+                and isinstance(blocks, range)
+                and blocks.step == 1 and blocks.start == 0
+                and len(blocks) <= num_sets):
+            # The generator prewarm path: a contiguous block range into
+            # an empty store. Every block lands in its own set
+            # (block % num_sets == block), so instead of allocating a
+            # line per block we record the range and materialise each
+            # set on first touch — a short run over a large resident set
+            # only ever realises the sets it actually probes.
+            self._lazy_n = len(blocks)
+            self._lazy_dirty = dirty_flags
+            return
+        self._materialize_all()
         for block, dirty in zip(blocks, dirty_flags):
-            lines = self._sets.setdefault(block % self.num_sets, [])
+            lines = sets.setdefault(block % num_sets, [])
             for line in lines:
                 if line.block == block:
                     line.dirty = line.dirty or bool(dirty)
-                    if self.ras is not None:
-                        line.codeword = self.ras.encode_line(line.block,
-                                                             line.dirty)
+                    if ras is not None:
+                        line.codeword = ras.encode_line(line.block,
+                                                        line.dirty)
                     break
             else:
                 if len(lines) >= capacity:
                     lines.pop(0)
-                lines.append(self._new_line(int(block), bool(dirty)))
+                if ras is None:
+                    lines.append(_Line(block, bool(dirty)))
+                else:
+                    lines.append(self._new_line(int(block), bool(dirty)))
 
     def invalidate(self, block: int) -> bool:
         """Drop ``block`` if resident; returns whether it was present."""
@@ -219,7 +284,11 @@ class TagStore:
         return True
 
     def resident_blocks(self) -> int:
-        return sum(len(lines) for lines in self._sets.values())
+        count = sum(len(lines) for lines in self._sets.values())
+        if self._lazy_n:
+            count += self._lazy_n - sum(
+                1 for idx in self._sets if idx < self._lazy_n)
+        return count
 
     # ------------------------------------------------------------------
     # Degradation support (repro.ras.degrade)
@@ -229,6 +298,7 @@ class TagStore:
         evicted when materialised sets shrink to the new capacity."""
         if self.available_ways <= 1:
             raise RasError("cannot disable the last remaining way")
+        self._materialize_all()
         self.disabled_ways += 1
         capacity = self.available_ways
         evicted: List[Tuple[int, bool]] = []
@@ -243,6 +313,7 @@ class TagStore:
     ) -> List[Tuple[int, bool]]:
         """Drop every resident line whose block satisfies ``predicate``
         (bank fuse-off); returns the evicted (block, dirty) pairs."""
+        self._materialize_all()
         evicted: List[Tuple[int, bool]] = []
         for lines in self._sets.values():
             keep = [line for line in lines if not predicate(line.block)]

@@ -109,7 +109,7 @@ class TdramCache(DramCacheController):
             now + FLUSH_HIT_LATENCY, 64, Direction.READ)
         self.meter.add_dq_bytes(64)
         self.metrics.ledger.move("flush_buffer_hit", 64, useful=True)
-        self.sim.at(end, lambda: self._complete_read(request, end))
+        self.sim.at(end, self._complete_read, request, end)
 
     # ------------------------------------------------------------------
     # Scheduling hooks
@@ -173,19 +173,19 @@ class TdramCache(DramCacheController):
             self.metrics.ledger.move("hit_data", 64, useful=True)
             if self.obs is not None and data_start is not None:
                 self.obs.on_dq_window(demand, data_start, data_end)
-            self.sim.at(data_end, lambda: self._complete_read(demand, data_end))
+            self.sim.at(data_end, self._complete_read, demand, data_end)
             return
         if outcome is Outcome.MISS_DIRTY:
             assert result.victim_block is not None
             victim = result.victim_block
             self.metrics.ledger.move("victim_readout", 64, useful=False)
             self.tags.invalidate(victim)
-            self.sim.at(data_end, lambda: self._writeback(victim))
-            self.sim.at(hm_at, lambda: self._fetch(demand.block_addr, demand))
+            self.sim.at(data_end, self._writeback, victim)
+            self.sim.at(hm_at, self._fetch, demand.block_addr, demand)
             return
         # Miss to clean/invalid: no data drives; the reserved DQ slot can
         # carry one flush-buffer entry out instead (§III-D2).
-        self.sim.at(hm_at, lambda: self._fetch(demand.block_addr, demand))
+        self.sim.at(hm_at, self._fetch, demand.block_addr, demand)
         assert data_start is not None
         self._unload_in_read_slot(channel_idx, data_start, data_end)
 
@@ -204,8 +204,7 @@ class TdramCache(DramCacheController):
         )
         assert grant.data_end is not None
         self.metrics.ledger.move("victim_readout", 64, useful=False)
-        data_end = grant.data_end
-        self.sim.at(data_end, lambda: self._writeback(victim))
+        self.sim.at(grant.data_end, self._writeback, victim)
 
     def _unload_in_read_slot(self, channel_idx: int, slot_start: int,
                              slot_end: int) -> None:
@@ -220,7 +219,7 @@ class TdramCache(DramCacheController):
         if self.obs is not None:
             self.obs.on_flush_drain("read_miss_clean", block,
                                     slot_start, slot_end)
-        self.sim.at(slot_end, lambda: self._writeback(block))
+        self.sim.at(slot_end, self._writeback, block)
 
     # ------------------------------------------------------------------
     # ActWr
@@ -275,7 +274,7 @@ class TdramCache(DramCacheController):
             self.metrics.ledger.move("flush_unload", 64, useful=False)
             if self.obs is not None:
                 self.obs.on_flush_drain("forced", block, time, end)
-            self.sim.at(end, lambda block=block: self._writeback(block))
+            self.sim.at(end, self._writeback, block)
 
     # ------------------------------------------------------------------
     # Fill path
@@ -308,12 +307,8 @@ class TdramCache(DramCacheController):
                     and any(o.demand is not None and o.demand.is_read
                             and not o.demand.probed for o in read_q)):
                 self._probe_retry_pending[channel_idx] = True
-
-                def retry() -> None:
-                    self._probe_retry_pending[channel_idx] = False
-                    self._on_blocked(channel_idx, self.sim.now)
-
-                self.sim.schedule(self.config.tag_timing.tRRD_TAG * 2, retry)
+                self.sim.schedule(self.config.tag_timing.tRRD_TAG * 2,
+                                  self._probe_retry, channel_idx)
             return
         demand = op.demand
         assert demand is not None
@@ -331,11 +326,15 @@ class TdramCache(DramCacheController):
         if self.obs is not None:
             self.obs.on_probe(demand, now, hm_at)
             self.obs.on_hm_result(channel_idx, hm_at)
-        self.sim.at(hm_at, lambda: self._on_probe_result(channel_idx, op, hm_at))
+        self.sim.at(hm_at, self._on_probe_result, channel_idx, op, hm_at)
         # The CA bus frees after one command slot; chain another probe
         # attempt so every unused slot can be filled (§III-E).
         free_at = channel.ca.free_at
-        self.sim.at(free_at, lambda: self._on_blocked(channel_idx, free_at))
+        self.sim.at(free_at, self._on_blocked, channel_idx, free_at)
+
+    def _probe_retry(self, channel_idx: int) -> None:
+        self._probe_retry_pending[channel_idx] = False
+        self._on_blocked(channel_idx, self.sim.now)
 
     def _on_probe_result(self, channel_idx: int, op: CacheOp, time: int) -> None:
         demand = op.demand
@@ -388,4 +387,4 @@ class TdramCache(DramCacheController):
                 self.obs.on_flush_drain("refresh", block,
                                         start + i * burst,
                                         start + (i + 1) * burst)
-            self.sim.at(end, lambda block=block: self._writeback(block))
+            self.sim.at(end, self._writeback, block)

@@ -162,31 +162,45 @@ class DramChannel:
     ) -> int:
         """Earliest legal command-issue instant at or after ``at``.
 
-        The search is a fixed-point over monotone constraints, so it
-        converges in a handful of iterations.
+        Every constraint has the form ``max(t, floor)`` where the floor
+        (a bus free time, bank ready time, activation-window horizon,
+        or data/HM slot at a fixed command offset) does not depend on
+        ``t``, so the fixed point is a single max over the floors — no
+        iterative search. This is the hottest function in the simulator
+        (one call per scheduler wake per channel), hence the manual
+        comparisons instead of one big ``max(...)`` call.
         """
-        timing = self.timing
-        data_offset = timing.write_data_delay if is_write else timing.read_data_delay
-        direction = Direction.WRITE if is_write else Direction.READ
-        t = at
-        for _ in range(64):
-            candidate = t
-            candidate = max(candidate, self.ca.earliest(t))
-            candidate = max(candidate, self.banks[bank].earliest(t))
-            candidate = max(candidate, self.act_window.earliest(t))
-            if with_data:
-                dq_ready = self.dq.earliest_dir(t + data_offset, direction)
-                candidate = max(candidate, dq_ready - data_offset)
-            if with_tag and self.tag_timing is not None:
-                candidate = max(candidate, self.tag_banks[bank].earliest(t))
-                assert self.tag_act_window is not None and self.hm is not None
-                candidate = max(candidate, self.tag_act_window.earliest(t))
-                hm_ready = self.hm.earliest(t + self.tag_timing.hm_result_delay)
-                candidate = max(candidate, hm_ready - self.tag_timing.hm_result_delay)
-            if candidate == t:
-                return t
-            t = candidate
-        raise ProtocolError(f"{self.name}: issue planning did not converge")
+        t = self.ca.earliest(at)
+        v = self.banks[bank].earliest(at)
+        if v > t:
+            t = v
+        v = self.act_window.earliest(at)
+        if v > t:
+            t = v
+        if with_data:
+            timing = self.timing
+            if is_write:
+                offset = timing.write_data_delay
+                v = self.dq.earliest_dir(at + offset, Direction.WRITE) - offset
+            else:
+                offset = timing.read_data_delay
+                v = self.dq.earliest_dir(at + offset, Direction.READ) - offset
+            if v > t:
+                t = v
+        tag_timing = self.tag_timing
+        if with_tag and tag_timing is not None:
+            assert self.tag_act_window is not None and self.hm is not None
+            v = self.tag_banks[bank].earliest(at)
+            if v > t:
+                t = v
+            v = self.tag_act_window.earliest(at)
+            if v > t:
+                t = v
+            delay = tag_timing.hm_result_delay
+            v = self.hm.earliest(at + delay) - delay
+            if v > t:
+                t = v
+        return t
 
     def issue_access(
         self,
@@ -274,26 +288,22 @@ class DramChannel:
 
     def earliest_issue_open(self, bank: int, at: int, row: int,
                             is_write: bool) -> int:
-        """Open-page analogue of :meth:`earliest_issue`."""
-        timing = self.timing
+        """Open-page analogue of :meth:`earliest_issue`.
+
+        Like :meth:`earliest_issue`, every constraint floor is
+        ``t``-independent, so a single max pass gives the fixed point.
+        """
         b = self.banks[bank]
         hit = b.open_row == row
         offset = self._open_data_offset(bank, row, is_write)
         direction = Direction.WRITE if is_write else Direction.READ
-        t = at
-        for _ in range(64):
-            candidate = max(t, self.ca.earliest(t), b.earliest(t))
-            if not hit:
-                candidate = max(candidate, self.act_window.earliest(t))
-                if b.open_row >= 0:
-                    # The implicit precharge obeys tRAS and tWR.
-                    candidate = max(candidate, b.precharge_not_before)
-            dq_ready = self.dq.earliest_dir(t + offset, direction)
-            candidate = max(candidate, dq_ready - offset)
-            if candidate == t:
-                return t
-            t = candidate
-        raise ProtocolError(f"{self.name}: open-page planning did not converge")
+        t = max(at, self.ca.earliest(at), b.earliest(at))
+        if not hit:
+            t = max(t, self.act_window.earliest(at))
+            if b.open_row >= 0:
+                # The implicit precharge obeys tRAS and tWR.
+                t = max(t, b.precharge_not_before)
+        return max(t, self.dq.earliest_dir(at + offset, direction) - offset)
 
     def issue_access_open(self, bank: int, at: int, row: int, is_write: bool,
                           data_bytes: int = 64) -> AccessGrant:

@@ -10,10 +10,14 @@ batch into a *campaign*:
   its outcome (design, workload spec, full :class:`SystemConfig`,
   work quantum, seed);
 * :func:`run_campaign` fans tasks out over a
-  :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs`` workers)
-  with bounded retry on worker crashes and live progress/ETA
-  callbacks — results are bit-identical to the serial path because
-  every simulation is seeded explicitly per task;
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs`` workers,
+  clamped to the host's CPU count) with bounded retry on worker
+  crashes and live progress/ETA callbacks — tasks are sharded into one
+  batch per worker submitted once, so pickling and pool dispatch are
+  amortised across the shard and the shared ``SystemConfig``/workload
+  objects travel once per process via the pool initializer; results
+  are bit-identical to the serial path because every simulation is
+  seeded explicitly per task;
 * a :class:`ResultCache` persists each :class:`RunResult` as JSON
   under its key, so re-running a figure or a sweep only simulates
   what changed (``tdram-repro campaign --resume`` completes with zero
@@ -129,8 +133,16 @@ class CampaignTask:
 
     @property
     def key(self) -> str:
-        return cache_key(self.design, self.workload, self.config,
-                         self.demands_per_core, self.seed)
+        # Memoised: canonicalising the full SystemConfig and hashing it
+        # is expensive, and a campaign touches every task's key several
+        # times (dedupe, cache probe, result alignment). The fields are
+        # frozen, so the key can never go stale.
+        key = self.__dict__.get("_key")
+        if key is None:
+            key = cache_key(self.design, self.workload, self.config,
+                            self.demands_per_core, self.seed)
+            object.__setattr__(self, "_key", key)
+        return key
 
     @property
     def label(self) -> str:
@@ -180,6 +192,43 @@ def _execute_task(task: CampaignTask) -> RunResult:
     return run_experiment(task.design, task.workload, config=task.config,
                           demands_per_core=task.demands_per_core,
                           seed=task.seed, trace_out=trace_out)
+
+
+#: Per-process tables installed by :func:`_pool_init`; shard descriptors
+#: reference configs/specs by index so the (identical, often large)
+#: objects are pickled once per worker instead of once per task.
+_POOL_CONFIGS: List[SystemConfig] = []
+_POOL_SPECS: List[WorkloadSpec] = []
+
+
+def _pool_init(configs: List[SystemConfig], specs: List[WorkloadSpec]) -> None:
+    """Worker initializer: install the campaign's shared config and
+    workload-spec tables once per process."""
+    global _POOL_CONFIGS, _POOL_SPECS
+    _POOL_CONFIGS = configs
+    _POOL_SPECS = specs
+
+
+def _execute_shard(runner: Callable[[CampaignTask], RunResult],
+                   shard: List[tuple]) -> List[tuple]:
+    """Worker entry for one shard of task descriptors.
+
+    Rebuilds each task from the per-process tables and runs it; a
+    per-task exception is caught and reported as a ``(key, None,
+    repr)`` row so one bad task cannot poison the rest of its shard.
+    """
+    rows: List[tuple] = []
+    for key, design, config_idx, spec_idx, demands, seed, trace_dir in shard:
+        task = CampaignTask(
+            design=design, workload=_POOL_SPECS[spec_idx],
+            config=_POOL_CONFIGS[config_idx], demands_per_core=demands,
+            seed=seed, trace_dir=trace_dir,
+        )
+        try:
+            rows.append((key, runner(task), None))
+        except Exception as error:  # noqa: BLE001 - retried by the driver
+            rows.append((key, None, repr(error)))
+    return rows
 
 
 # ---------------------------------------------------------------------------
@@ -280,12 +329,16 @@ class CampaignOutcome:
     retried: int = 0
     failures: Dict[str, str] = field(default_factory=dict)
     wall_s: float = 0.0
+    #: worker count actually used (after the cpu_count clamp); 0 until
+    #: run_campaign fills it in
+    jobs: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.failures
 
-    def summary(self, jobs: int = 1) -> str:
+    def summary(self, jobs: Optional[int] = None) -> str:
+        jobs = self.jobs if jobs is None else jobs
         return (f"campaign: tasks={len(self.results)} "
                 f"simulated={self.simulated} cached={self.cached} "
                 f"retried={self.retried} failures={len(self.failures)} "
@@ -301,6 +354,7 @@ def run_campaign(
     progress: Optional[ProgressFn] = None,
     strict: bool = True,
     runner: Callable[[CampaignTask], RunResult] = _execute_task,
+    clamp_jobs: bool = True,
 ) -> CampaignOutcome:
     """Execute a batch of simulations, in parallel, resumably.
 
@@ -310,6 +364,9 @@ def run_campaign(
         Worker processes. ``1`` runs everything in-process (no pool,
         no pickling) and is bit-identical to calling
         :func:`~repro.experiments.runner.run_experiment` in a loop.
+        Values above ``os.cpu_count()`` are clamped (see
+        ``clamp_jobs``): oversubscribed workers only add pickling and
+        context-switch cost, they cannot add parallelism.
     cache:
         Optional :class:`ResultCache`. Fresh results are always written
         to it; existing entries are only *read* when ``reuse_cache``.
@@ -326,10 +383,17 @@ def run_campaign(
     runner:
         Task executor (module-level for process pools); injectable for
         tests.
+    clamp_jobs:
+        Clamp ``jobs`` to the host's CPU count (default). Pass
+        ``False`` to force the pool path regardless — used by tests
+        that must exercise the parallel machinery on small hosts.
     """
     tasks = list(tasks)
+    if clamp_jobs:
+        jobs = max(1, min(jobs, os.cpu_count() or 1))
     start = time.monotonic()
-    outcome = CampaignOutcome(results=[None] * len(tasks), by_key={})
+    outcome = CampaignOutcome(results=[None] * len(tasks), by_key={},
+                              jobs=jobs)
 
     # Dedupe on key: figure batches repeat baselines; simulate once.
     unique: Dict[str, CampaignTask] = {}
@@ -375,7 +439,7 @@ def run_campaign(
             cache.put(key, result, task)
         report(task.label, "simulated")
 
-    def record_failure(key: str, task: CampaignTask, error: Exception) -> bool:
+    def record_failure(key: str, task: CampaignTask, detail: str) -> bool:
         """Consume one attempt; return True if the task may retry."""
         nonlocal done
         attempts[key] += 1
@@ -383,7 +447,7 @@ def run_campaign(
             outcome.retried += 1
             report(task.label, "retried")
             return True
-        outcome.failures[key] = f"{task.label}: {error!r}"
+        outcome.failures[key] = f"{task.label}: {detail}"
         done += 1
         report(task.label, "failed")
         return False
@@ -394,31 +458,72 @@ def run_campaign(
                 try:
                     record(key, task, runner(task))
                 except Exception as error:  # noqa: BLE001 - retried/reported
-                    if not record_failure(key, task, error):
+                    if not record_failure(key, task, repr(error)):
                         break
     else:
+        # Shard the round's tasks into one batch per worker, submitted
+        # once: pool dispatch and argument pickling are paid per shard
+        # (== per worker), not per task, and the shared config/spec
+        # objects ride the pool initializer so each worker unpickles
+        # them once. Round-robin sharding keeps the per-worker load
+        # roughly balanced across design x workload matrices.
         remaining = dict(pending)
         while remaining:
-            batch = list(remaining.items())
+            configs: List[SystemConfig] = []
+            config_index: Dict[int, int] = {}
+            specs: List[WorkloadSpec] = []
+            spec_index: Dict[int, int] = {}
+            descriptors = []
+            for key, task in remaining.items():
+                ci = config_index.get(id(task.config))
+                if ci is None:
+                    ci = config_index[id(task.config)] = len(configs)
+                    configs.append(task.config)
+                si = spec_index.get(id(task.workload))
+                if si is None:
+                    si = spec_index[id(task.workload)] = len(specs)
+                    specs.append(task.workload)
+                descriptors.append((key, task.design, ci, si,
+                                    task.demands_per_core, task.seed,
+                                    task.trace_dir))
+            shards = [descriptors[i::jobs] for i in range(jobs)]
+            shards = [shard for shard in shards if shard]
             # A fresh pool per round: a crashed worker breaks the whole
             # pool, poisoning every outstanding future in it.
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = {pool.submit(runner, task): (key, task)
-                           for key, task in batch}
+            with ProcessPoolExecutor(max_workers=len(shards),
+                                     initializer=_pool_init,
+                                     initargs=(configs, specs)) as pool:
+                futures = {pool.submit(_execute_shard, runner, shard): shard
+                           for shard in shards}
                 not_done = set(futures)
                 while not_done:
                     finished, not_done = wait(not_done,
                                               return_when=FIRST_COMPLETED)
                     for future in finished:
-                        key, task = futures[future]
+                        shard = futures[future]
                         try:
-                            result = future.result()
+                            rows = future.result()
                         except Exception as error:  # noqa: BLE001
-                            if not record_failure(key, task, error):
-                                remaining.pop(key, None)
+                            # The whole shard died (worker crash /
+                            # BrokenProcessPool): every task in it
+                            # consumes an attempt; survivors re-run in
+                            # the next round's fresh pool.
+                            for item in shard:
+                                key = item[0]
+                                task = remaining.get(key)
+                                if task is None:
+                                    continue
+                                if not record_failure(key, task, repr(error)):
+                                    remaining.pop(key, None)
                             continue
-                        record(key, task, result)
-                        remaining.pop(key, None)
+                        for key, result, err in rows:
+                            task = remaining[key]
+                            if err is not None:
+                                if not record_failure(key, task, err):
+                                    remaining.pop(key, None)
+                                continue
+                            record(key, task, result)
+                            remaining.pop(key, None)
 
     outcome.results = [
         outcome.by_key.get(task.key) for task in tasks

@@ -280,7 +280,7 @@ def main(argv=None) -> int:
             print(f"wrote {len(payload)} results to {args.out}")
         for key, message in sorted(outcome.failures.items()):
             print(f"FAILED {message}", file=sys.stderr)
-        print(outcome.summary(jobs=args.jobs))
+        print(outcome.summary())
         return 0 if outcome.ok else 1
     if target == "trace-capture":
         if len(args.args) != 3:

@@ -161,7 +161,7 @@ class _ChannelScheduler:
             if read.callback is not None:
                 finish = grant.data_end
                 callback = read.callback
-                self.sim.at(finish, lambda: callback(finish))
+                self.sim.at(finish, callback, finish)
         # More work may be issuable immediately after this command slot.
         if self.reads or self.writes:
             self._schedule_wake(self.channel.ca.free_at)

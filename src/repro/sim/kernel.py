@@ -5,22 +5,63 @@ uses half-nanosecond granularity (e.g. ``tHM = 7.5 ns``), so picoseconds
 keep every timing value exact while remaining hashable and overflow-free
 for any realistic simulation length.
 
-The kernel is deliberately minimal: a priority queue of ``(time, seq,
-callback)`` entries. Components schedule callbacks; determinism is
-guaranteed by the monotonically increasing sequence number used as a
-tie-breaker for simultaneous events.
+Scheduler design
+----------------
+The pending-event set is an **indexed bucket (calendar/ladder) queue**
+exploiting the integer time base:
+
+* events within a ~4.2 µs horizon land in one of :data:`_NBUCKETS` ring
+  buckets of :data:`_BUCKET_PS` picoseconds each (``list.append``, O(1));
+* the bucket currently being drained is a small binary heap (``_cur``),
+  so exact ``(time, seq)`` order is preserved within a bucket and for
+  same/past-bucket arrivals scheduled mid-drain;
+* events beyond the horizon go to an overflow heap and migrate into the
+  ring as the drain cursor advances (the "ladder" step).
+
+Bucket width (1024 ps ≈ one command slot) and horizon (4096 buckets
+≈ 4.2 µs, just past ``tREFI`` = 3.9 µs) are chosen so that the dense
+near-future traffic — command retries, data bursts, HM results, bank
+wakes — takes the O(1) append path while refresh reschedules still
+avoid the overflow heap. Dispatch order is **exactly** the ``(time,
+seq)`` order of a plain binary heap (locked by a randomized equivalence
+test); determinism is guaranteed by the monotonically increasing
+sequence number used as a tie-breaker for simultaneous events.
+
+Events are small mutable handles, which buys **O(1) cancellation**
+(:meth:`Simulator.cancel` tombstones the handle in place; the drain
+loop skips dead entries) and argument passing without per-event closure
+allocation: ``sim.at(t, self._writeback, block)`` instead of
+``sim.at(t, lambda: self._writeback(block))``.
+
+For A/B verification the classic heapq scheduler is still available:
+``Simulator(queue="heap")`` routes every event through one binary heap.
+Both modes dispatch bit-identically; the ladder is simply faster.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from time import perf_counter_ns
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
 
 #: Picoseconds per nanosecond; all public timing parameters are in ns.
 PS_PER_NS = 1000
+
+#: log2 of the bucket width: 1024 ps buckets (≈ one CA command slot).
+_BUCKET_SHIFT = 10
+#: Ring size (power of two): horizon = 4096 · 1024 ps ≈ 4.2 µs > tREFI.
+_NBUCKETS = 4096
+_BUCKET_MASK = _NBUCKETS - 1
+
+#: Sentinel bound larger than any simulated time or event count.
+_UNBOUNDED = float("inf")
+
+#: Handle slots: [time_ps, seq, callback, args]. ``callback`` becomes
+#: ``None`` once dispatched or cancelled (the tombstone). Handles sort
+#: by (time, seq) under list comparison because seq is unique.
+_TIME, _SEQ, _CALLBACK, _ARGS = 0, 1, 2, 3
 
 
 def ns(value: float) -> int:
@@ -49,6 +90,7 @@ class Simulator:
     >>> fired = []
     >>> sim.schedule(ns(5), lambda: fired.append(sim.now))
     >>> sim.run()
+    1
     >>> fired
     [5000]
 
@@ -73,16 +115,38 @@ class Simulator:
     ``record(callback, wall_ns)`` method (e.g.
     :class:`repro.obs.KernelProfiler`) and the dispatch loop times
     every callback with the host clock; with ``None`` the loop takes an
-    uninstrumented branch — no timestamps are read and dispatch order,
-    event counts, and results are unchanged either way.
+    uninstrumented branch — the profiler check is hoisted out of the
+    loop entirely, no timestamps are read, and dispatch order, event
+    counts, and results are unchanged either way.
     """
 
-    def __init__(self) -> None:
+    #: Queue implementation new simulators default to. The A/B
+    #: equivalence tests flip this to ``"heap"`` to run whole
+    #: experiments on the reference scheduler.
+    DEFAULT_QUEUE = "ladder"
+
+    def __init__(self, queue: Optional[str] = None) -> None:
+        queue = queue or self.DEFAULT_QUEUE
+        if queue not in ("ladder", "heap"):
+            raise SimulationError(f"unknown queue implementation {queue!r}")
         self._now: int = 0
         self._seq: int = 0
-        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._running = False
         self._stop_requested = False
+        #: events scheduled but neither dispatched nor cancelled
+        self._live = 0
+        #: heap of handles for bucket ids <= the drain cursor (and, in
+        #: "heap" mode, for every pending event)
+        self._cur: List[list] = []
+        #: bucket id currently being drained into ``_cur``
+        self._cur_bid = 0
+        #: ring of per-bucket appent-only lists for the near future
+        self._ring: List[List[list]] = [[] for _ in range(_NBUCKETS)]
+        #: total entries (incl. tombstones) currently in the ring
+        self._ring_live = 0
+        #: heap of handles beyond the ring horizon
+        self._overflow: List[list] = []
+        self._heap_mode = queue == "heap"
         #: optional profiler with ``record(callback, wall_ns)``; set by
         #: the observability layer (``SystemConfig.obs.profile``)
         self.profiler = None
@@ -98,24 +162,142 @@ class Simulator:
         return to_ns(self._now)
 
     def pending(self) -> int:
-        """Number of events not yet dispatched."""
-        return len(self._queue)
+        """Number of events scheduled and still due to dispatch
+        (cancelled events stop counting immediately)."""
+        return self._live
 
-    def at(self, time: int, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` at absolute ``time`` (picoseconds)."""
+    def at(self, time: int, callback: Callable, *args: object) -> list:
+        """Schedule ``callback(*args)`` at absolute ``time`` (ps).
+
+        Returns an opaque handle accepted by :meth:`cancel`. Extra
+        positional arguments are stored on the handle, so hot paths can
+        schedule bound methods directly instead of allocating a closure
+        per event.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at {time} ps, now is {self._now} ps"
             )
-        heapq.heappush(self._queue, (time, self._seq, callback))
+        handle = [time, self._seq, callback, args]
         self._seq += 1
+        self._live += 1
+        if self._heap_mode:
+            heappush(self._cur, handle)
+            return handle
+        bid = time >> _BUCKET_SHIFT
+        offset = bid - self._cur_bid
+        if offset <= 0:
+            # Into (or before) the bucket being drained: keep exact
+            # (time, seq) order via the current heap.
+            heappush(self._cur, handle)
+        elif offset < _NBUCKETS:
+            self._ring[bid & _BUCKET_MASK].append(handle)
+            self._ring_live += 1
+        else:
+            heappush(self._overflow, handle)
+        return handle
 
-    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` after ``delay`` picoseconds from now."""
+    def schedule(self, delay: int, callback: Callable, *args: object) -> list:
+        """Schedule ``callback(*args)`` after ``delay`` picoseconds."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay} ps")
-        self.at(self._now + delay, callback)
+        return self.at(self._now + delay, callback, *args)
 
+    def cancel(self, handle: list) -> bool:
+        """Cancel a scheduled event in O(1).
+
+        ``handle`` is the value returned by :meth:`at`/:meth:`schedule`.
+        Returns ``True`` if the event was still pending (it will now
+        never fire); ``False`` if it already dispatched or was already
+        cancelled. The handle is tombstoned in place and skipped by the
+        drain loop, so cancellation never perturbs the order or timing
+        of surviving events.
+        """
+        if handle[_CALLBACK] is None:
+            return False
+        handle[_CALLBACK] = None
+        handle[_ARGS] = ()
+        self._live -= 1
+        return True
+
+    def peek_time(self) -> Optional[int]:
+        """Time (ps) of the next pending event, or ``None`` if idle.
+
+        O(1) amortised: tombstones and empty buckets the cursor skips
+        here are work the next :meth:`run` no longer has to do.
+        """
+        head = self._front()
+        return None if head is None else head[_TIME]
+
+    # ------------------------------------------------------------------
+    def _migrate(self) -> None:
+        """Ladder step: pull overflow events now inside the horizon."""
+        overflow = self._overflow
+        horizon = self._cur_bid + _NBUCKETS
+        while overflow and (overflow[0][_TIME] >> _BUCKET_SHIFT) < horizon:
+            handle = heappop(overflow)
+            if handle[_CALLBACK] is None:
+                continue
+            bid = handle[_TIME] >> _BUCKET_SHIFT
+            if bid <= self._cur_bid:
+                heappush(self._cur, handle)
+            else:
+                self._ring[bid & _BUCKET_MASK].append(handle)
+                self._ring_live += 1
+
+    def _front(self) -> Optional[list]:
+        """The next live handle (left at ``_cur[0]``), or ``None``.
+
+        Advances the drain cursor over empty buckets and discards
+        tombstones. Safe to call outside :meth:`run`: a later ``at()``
+        whose bucket the cursor already passed still lands in ``_cur``
+        (the ``offset <= 0`` branch), so no event can be skipped.
+        """
+        cur = self._cur
+        while True:
+            while cur:
+                head = cur[0]
+                if head[_CALLBACK] is not None:
+                    return head
+                heappop(cur)
+            if self._live == 0:
+                return None
+            if self._ring_live:
+                # Walk to the next occupied bucket with plain locals —
+                # long inter-event gaps (refresh idles, drain tails) can
+                # skip hundreds of empty buckets per dispatch. The
+                # overflow check stays inline so migration still runs
+                # the moment the advancing horizon uncovers an event.
+                ring = self._ring
+                overflow = self._overflow
+                bid = self._cur_bid
+                while True:
+                    bid += 1
+                    if overflow and (
+                            overflow[0][_TIME] >> _BUCKET_SHIFT
+                    ) < bid + _NBUCKETS:
+                        self._cur_bid = bid
+                        self._migrate()
+                    slot = ring[bid & _BUCKET_MASK]
+                    if slot:
+                        break
+                self._cur_bid = bid
+                self._ring_live -= len(slot)
+                cur[:] = slot
+                del slot[:]
+                heapify(cur)
+            elif self._overflow:
+                overflow = self._overflow
+                while overflow and overflow[0][_CALLBACK] is None:
+                    heappop(overflow)
+                if not overflow:
+                    return None
+                self._cur_bid = overflow[0][_TIME] >> _BUCKET_SHIFT
+                self._migrate()
+            else:
+                return None
+
+    # ------------------------------------------------------------------
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Dispatch events until the queue drains (or a limit is hit).
 
@@ -148,28 +330,63 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         dispatched = 0
+        # Hot loop: every name it touches is a local; the profiler
+        # branch is hoisted into two separate loops so the common
+        # (profiler off) path reads no host clock and tests no flag.
+        bound = _UNBOUNDED if until is None else until
+        limit = _UNBOUNDED if max_events is None else max_events
         profiler = self.profiler
+        front = self._front
+        cur = self._cur
+        pop = heappop
         try:
-            while self._queue and not self._stop_requested:
-                time, _seq, callback = self._queue[0]
-                if until is not None and time > until:
-                    break
-                heapq.heappop(self._queue)
-                if time < self._now:
-                    raise SimulationError("event queue time went backwards")
-                self._now = time
-                if profiler is None:
-                    callback()
-                else:
+            if profiler is None:
+                while not self._stop_requested:
+                    if cur:
+                        head = cur[0]
+                        if head[2] is None:
+                            head = front()
+                            if head is None:
+                                break
+                    else:
+                        head = front()
+                        if head is None:
+                            break
+                    time = head[0]
+                    if time > bound:
+                        break
+                    pop(cur)
+                    self._live -= 1
+                    self._now = time
+                    callback = head[2]
+                    head[2] = None
+                    callback(*head[3])
+                    dispatched += 1
+                    if dispatched >= limit:
+                        break
+            else:
+                record = profiler.record
+                while not self._stop_requested:
+                    head = front()
+                    if head is None:
+                        break
+                    time = head[0]
+                    if time > bound:
+                        break
+                    pop(cur)
+                    self._live -= 1
+                    self._now = time
+                    callback = head[2]
+                    head[2] = None
                     # Host wall time feeds only the profiler digest,
                     # never simulated state; the profiler-off branch
                     # reads no clock at all (locked by tests).
                     begin = perf_counter_ns()  # tdram: noqa[SIM001] -- host-side profiling only, sim state untouched
-                    callback()
-                    profiler.record(callback, perf_counter_ns() - begin)  # tdram: noqa[SIM001] -- host-side profiling only, sim state untouched
-                dispatched += 1
-                if max_events is not None and dispatched >= max_events:
-                    break
+                    callback(*head[3])
+                    record(callback, perf_counter_ns() - begin)  # tdram: noqa[SIM001] -- host-side profiling only, sim state untouched
+                    dispatched += 1
+                    if dispatched >= limit:
+                        break
         finally:
             self._running = False
         # Advance to the bound unconditionally on a bounded run: a
@@ -182,7 +399,7 @@ class Simulator:
             until is not None
             and self._now < until
             and not self._stop_requested
-            and (max_events is None or dispatched < max_events)
+            and dispatched < limit
         ):
             self._now = until
         return dispatched

@@ -439,6 +439,58 @@ class TestNoPrint:
 
 
 # ----------------------------------------------------------------------
+# SIM011 - closure allocation on dispatch paths
+# ----------------------------------------------------------------------
+class TestNoClosureOnDispatchPath:
+    def test_flags_lambda_in_sim_at(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/cache/ctl.py": """\
+            def issue(sim, block):
+                sim.at(100, lambda: writeback(block))
+            """}, select=["SIM011"])
+        assert rules_of(report) == ["SIM011"]
+        assert "lambda" in report.findings[0].message
+
+    def test_flags_lambda_in_schedule(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/dram/dev.py": """\
+            def retry(self, delay):
+                self.sim.schedule(delay, lambda: self.kick())
+            """}, select=["SIM011"])
+        assert rules_of(report) == ["SIM011"]
+
+    def test_flags_partial_in_schedule(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/sim/aux.py": """\
+            from functools import partial
+            def retry(sim, delay, block):
+                sim.schedule(delay, partial(kick, block))
+            """}, select=["SIM011"])
+        assert rules_of(report) == ["SIM011"]
+        assert "partial" in report.findings[0].message
+
+    def test_handle_args_form_is_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/cache/ctl.py": """\
+            def issue(self, end, block):
+                self.sim.at(end, self._writeback, block)
+            """}, select=["SIM011"])
+        assert report.ok
+
+    def test_other_packages_exempt(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/experiments/sweep.py": """\
+            def plan(sim):
+                sim.at(0, lambda: None)
+            """}, select=["SIM011"])
+        assert report.ok
+
+    def test_bare_name_call_not_a_scheduler(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/cache/util.py": """\
+            def at(t, fn):
+                return (t, fn)
+            def use():
+                return at(0, lambda: None)
+            """}, select=["SIM011"])
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
 # Engine: suppressions
 # ----------------------------------------------------------------------
 class TestSuppressions:

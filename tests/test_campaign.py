@@ -175,7 +175,8 @@ class TestCampaignExecution:
         tasks = tasks_for(["tdram", "no_cache"], representative_suite(),
                           config=FAST, demands_per_core=50, seeds=[SEED])
         serial = run_campaign(tasks, jobs=1)
-        parallel = run_campaign(tasks, jobs=2)
+        # clamp_jobs=False: exercise the real pool even on 1-core hosts.
+        parallel = run_campaign(tasks, jobs=2, clamp_jobs=False)
         assert parallel.simulated == len(tasks)
         for left, right in zip(serial.results, parallel.results):
             assert dataclasses.asdict(left) == dataclasses.asdict(right)
@@ -191,7 +192,7 @@ class TestCampaignExecution:
         cache = ResultCache(tmp_path)
         first = run_campaign(tasks, jobs=1, cache=cache)
         assert first.simulated == len(tasks) and first.cached == 0
-        resumed = run_campaign(tasks, jobs=2, cache=cache)
+        resumed = run_campaign(tasks, jobs=2, cache=cache, clamp_jobs=False)
         assert resumed.simulated == 0
         assert resumed.cached == len(tasks)
         for left, right in zip(first.results, resumed.results):
@@ -237,6 +238,33 @@ class TestCampaignExecution:
                            config=FAST, demands_per_core=DEMANDS, seed=SEED)
         with pytest.raises(SimulationError):
             run_campaign([bad], jobs=1, retries=0)
+
+    def test_jobs_clamped_to_cpu_count(self, monkeypatch):
+        """An absurd jobs count falls back to the serial path on a
+        host the monkeypatch makes single-core: no pool is created."""
+        import repro.experiments.campaign as campaign_mod
+
+        monkeypatch.setattr(campaign_mod.os, "cpu_count", lambda: 1)
+
+        def no_pool(*_args, **_kwargs):  # pragma: no cover - guard
+            raise AssertionError("pool must not be created when clamped")
+
+        monkeypatch.setattr(campaign_mod, "ProcessPoolExecutor", no_pool)
+        tasks = fast_tasks(designs=("tdram",), specs=("cg.C",))
+        outcome = run_campaign(tasks, jobs=64)
+        assert outcome.simulated == len(tasks)
+
+    def test_pool_recovers_from_worker_error(self):
+        """A task that raises inside a shard is retried in a fresh
+        round without poisoning its shard-mates."""
+        good = fast_tasks(designs=("tdram",), specs=("cg.C",))[0]
+        bad = CampaignTask(design="not_a_design", workload=workload("bfs.22"),
+                           config=FAST, demands_per_core=DEMANDS, seed=SEED)
+        outcome = run_campaign([good, bad], jobs=2, retries=1, strict=False,
+                               clamp_jobs=False)
+        assert outcome.results[0] is not None
+        assert outcome.results[1] is None
+        assert outcome.retried == 1 and len(outcome.failures) == 1
 
     def test_progress_reports_every_task(self):
         tasks = fast_tasks(designs=("tdram",))

@@ -187,6 +187,123 @@ class TestRunControls:
             sim.run()
 
 
+class TestCancel:
+    def test_cancel_prevents_dispatch(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(ns(10), lambda: fired.append("no"))
+        sim.schedule(ns(20), lambda: fired.append("yes"))
+        assert sim.cancel(handle) is True
+        sim.run()
+        assert fired == ["yes"]
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(ns(10), lambda: None)
+        assert sim.cancel(handle) is True
+        assert sim.cancel(handle) is False
+
+    def test_cancel_after_dispatch_returns_false(self):
+        sim = Simulator()
+        handle = sim.schedule(ns(10), lambda: None)
+        sim.run()
+        assert sim.cancel(handle) is False
+
+    def test_cancel_updates_pending_immediately(self):
+        sim = Simulator()
+        handles = [sim.schedule(ns(i + 1), lambda: None) for i in range(4)]
+        assert sim.pending() == 4
+        sim.cancel(handles[2])
+        assert sim.pending() == 3
+
+    def test_cancel_far_future_event(self):
+        """Events parked in the overflow heap cancel cleanly too."""
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(ns(1_000_000), lambda: fired.append("far"))
+        sim.schedule(ns(2_000_000), lambda: fired.append("farther"))
+        sim.cancel(handle)
+        sim.run()
+        assert fired == ["farther"]
+
+    def test_cancel_does_not_perturb_survivors(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        for i in range(20):
+            handle = sim.schedule(ns(i + 1), lambda i=i: fired.append(i))
+            if i % 3 != 0:
+                keep.append(i)
+            else:
+                sim.cancel(handle)
+        sim.run()
+        assert fired == keep
+
+    def test_peek_time_skips_cancelled_head(self):
+        sim = Simulator()
+        head = sim.schedule(ns(5), lambda: None)
+        sim.schedule(ns(9), lambda: None)
+        assert sim.peek_time() == ns(5)
+        sim.cancel(head)
+        assert sim.peek_time() == ns(9)
+
+    def test_peek_time_empty_queue(self):
+        assert Simulator().peek_time() is None
+
+
+def _run_script(queue: str, seed: int):
+    """Drive one simulator through a seeded random op stream.
+
+    The RNG decides, identically for both queue implementations, a mix
+    of absolute/relative schedules, delays spanning every ladder horizon
+    (same bucket, ring, and overflow), mid-callback reschedules, and
+    cancellations of still-live handles. Returns the exact dispatch
+    trace as ``(time, event_id)`` pairs.
+    """
+    import random
+
+    rng = random.Random(seed)
+    sim = Simulator(queue=queue)
+    trace = []
+    live = []
+    budget = [200]
+    # Delays cross bucket boundaries, stay inside the ring, and exceed
+    # the ring horizon (~4.2 us) into the overflow heap.
+    delay_choices = (0, 1, 512, 1024, 4096, 100_000, 2_000_000, 6_000_000)
+
+    def fire(event_id):
+        trace.append((sim.now, event_id))
+        roll = rng.random()
+        if roll < 0.5 and budget[0] > 0:
+            budget[0] -= 1
+            spawn(rng.choice(delay_choices))
+        if roll > 0.7 and live:
+            victim = live.pop(rng.randrange(len(live)))
+            sim.cancel(victim)
+
+    def spawn(delay):
+        event_id = budget[0]
+        live.append(sim.schedule(delay, fire, event_id))
+
+    for _ in range(40):
+        budget[0] -= 1
+        spawn(rng.choice(delay_choices))
+    sim.run()
+    return trace
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_ladder_matches_reference_heap_exactly(seed):
+    """The ladder queue dispatches any randomized op stream in the
+    exact (time, seq) order of the reference binary heap."""
+    assert _run_script("ladder", seed) == _run_script("heap", seed)
+
+
+def test_heap_mode_rejects_unknown_queue():
+    with pytest.raises(SimulationError):
+        Simulator(queue="fibonacci")
+
+
 @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50))
 def test_property_dispatch_order_is_sorted(delays):
     """Whatever the insertion order, dispatch times are nondecreasing."""

@@ -9,7 +9,7 @@ One entry point for everything CI gates beyond the test suite::
 
 Checks:
 
-* **lint** — ``repro.analysis`` (rules SIM001–SIM010) over ``src/repro``
+* **lint** — ``repro.analysis`` (rules SIM001–SIM011) over ``src/repro``
   against the committed baseline ``tools/lint_baseline.json``;
 * **typing** — the pinned strict mypy gate (``mypy.ini``) over the four
   core packages; when mypy is not installed (the dev container ships
