@@ -7,7 +7,7 @@ wall-clock reads or unseeded randomness inside simulated components, no
 float equality on timestamps, every counter read somewhere registered,
 no ordering-sensitive iteration feeding result serialization. This
 package is an AST-based lint engine with a registry of those rules
-(``SIM001``–``SIM010``), per-file and cross-file passes, inline
+(``SIM001``–``SIM012``), per-file and cross-file passes, inline
 ``# tdram: noqa[RULE] -- reason`` suppressions, and a committed
 baseline file for grandfathered findings.
 

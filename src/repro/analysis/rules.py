@@ -1,4 +1,4 @@
-"""The SIM001–SIM011 rule set: simulator invariants as lint rules.
+"""The SIM001–SIM012 rule set: simulator invariants as lint rules.
 
 Each rule encodes one invariant the simulator's reproducibility or
 result integrity depends on; the rationale strings below are surfaced
@@ -20,7 +20,7 @@ from repro.analysis.engine import Finding, Rule, SourceFile, register
 BASELINE_RULES = frozenset({"SIM006", "SIM007"})
 
 #: All rule ids this module provides, in catalogue order.
-SIM_RULES = tuple(f"SIM{n:03d}" for n in range(1, 12))
+SIM_RULES = tuple(f"SIM{n:03d}" for n in range(1, 13))
 
 #: Module basenames that are user-interface entry points (SIM010 and
 #: the wall-clock rule do not apply: a CLI may print and show ETAs).
@@ -98,10 +98,11 @@ class NoWallClock(Rule):
     )
 
     def exempt(self, source: SourceFile) -> bool:
-        # Host-side orchestration (campaign ETA displays, report
-        # generation, this analysis package) may read the host clock;
-        # simulated components may not.
-        return (source.in_module("repro.experiments", "repro.analysis")
+        # Host-side orchestration (campaign ETA displays, deadline
+        # supervision, report generation, this analysis package) may
+        # read the host clock; simulated components may not.
+        return (source.in_module("repro.experiments", "repro.analysis",
+                                 "repro.resilience")
                 or source.basename in _CLI_BASENAMES)
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
@@ -602,3 +603,59 @@ class NoClosureOnDispatchPath(Rule):
                         "functools.partial allocated per scheduled event; "
                         "at(t, callback, *args) already carries trailing "
                         "arguments without the extra object")
+
+
+@register
+class NoSilentExceptionSwallow(Rule):
+    """SIM012 — no silently swallowed broad exceptions in the harness."""
+
+    id = "SIM012"
+    title = "no silent broad except in harness code"
+    rationale = (
+        "The campaign harness survives worker crashes, hung tasks, and "
+        "corrupt cache entries by *counting and reporting* every "
+        "failure; a bare/broad except whose body is just pass hides the "
+        "exact faults the resilience layer exists to surface — a "
+        "swallowed OSError in a store path silently re-simulates, a "
+        "swallowed pool error silently drops tasks. Catch the narrow "
+        "type, or record the failure (counter, manifest row, journal "
+        "record) before continuing.")
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def exempt(self, source: SourceFile) -> bool:
+        # Only harness/orchestration code is held to this: the engine,
+        # the resilience layer, and their CLI plumbing.
+        return not source.in_module("repro.experiments", "repro.resilience")
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        names = [handler.type]
+        if isinstance(handler.type, ast.Tuple):
+            names = list(handler.type.elts)
+        return any((_terminal(name) or "") in self._BROAD for name in names)
+
+    def _swallows(self, handler: ast.ExceptHandler) -> bool:
+        for stmt in handler.body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(stmt, ast.Expr) and \
+                    isinstance(stmt.value, ast.Constant) and \
+                    stmt.value.value is Ellipsis:
+                continue
+            return False
+        return True
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if self._is_broad(node) and self._swallows(node):
+                caught = "bare except" if node.type is None else \
+                    f"except {ast.unparse(node.type)}"
+                yield self.finding(
+                    source, node,
+                    f"{caught} silently swallowed in harness code; catch "
+                    "the narrow exception or count/report the failure "
+                    "before continuing")

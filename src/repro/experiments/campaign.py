@@ -9,42 +9,54 @@ batch into a *campaign*:
   content-addressed :func:`cache_key` over everything that determines
   its outcome (design, workload spec, full :class:`SystemConfig`,
   work quantum, seed);
-* :func:`run_campaign` fans tasks out over a
-  :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs`` workers,
-  clamped to the host's CPU count) with bounded retry on worker
-  crashes and live progress/ETA callbacks — tasks are sharded into one
-  batch per worker submitted once, so pickling and pool dispatch are
-  amortised across the shard and the shared ``SystemConfig``/workload
-  objects travel once per process via the pool initializer; results
-  are bit-identical to the serial path because every simulation is
-  seeded explicitly per task;
+* :func:`run_campaign` fans tasks out over a supervised process pool
+  (:class:`repro.resilience.supervisor.TaskSupervisor`): one pool,
+  reused across retry rounds, with per-task wall-clock deadlines,
+  seeded exponential backoff between attempts, and a circuit breaker
+  that quarantines a ``(design, workload)`` combo after repeated
+  distinct-seed failures — results are bit-identical to the serial
+  path because every simulation is seeded explicitly per task;
 * a :class:`ResultCache` persists each :class:`RunResult` as JSON
-  under its key, so re-running a figure or a sweep only simulates
-  what changed (``tdram-repro campaign --resume`` completes with zero
-  new simulations when nothing did).
+  under its key (atomic writes, corrupt entries quarantined and
+  counted), and an optional
+  :class:`~repro.resilience.journal.CampaignJournal` makes progress
+  durable: ``--resume`` after SIGKILL replays completed tasks exactly
+  and re-simulates only what was in flight;
+* a campaign that exhausts retries degrades gracefully: partial
+  results plus a structured error manifest
+  (:class:`~repro.resilience.policies.TaskFailure` rows) instead of an
+  exception, unless ``strict``.
 
 The engine is deliberately dependency-free: tasks and results are
 plain dataclasses, keys are SHA-256 hexdigests, and the cache is a
 directory of small JSON files safe to rsync or commit to CI artifact
-storage.
+storage. Fault-tolerance semantics are specified in
+``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+import functools
 import hashlib
 import json
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.config.system import SystemConfig
-from repro.errors import SimulationError
+from repro.errors import CampaignError
 from repro.experiments.runner import RunResult, run_experiment
+from repro.obs.campaign import CampaignSeries
+from repro.resilience.chaos import ChaosConfig, maybe_fault
+from repro.resilience.journal import CampaignJournal
+from repro.resilience.policies import CircuitBreaker, RetryPolicy, TaskFailure
+from repro.resilience.store import ResultStore, quarantine_entry
+from repro.resilience.supervisor import TaskSupervisor
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.suite import workload as lookup_workload
 
@@ -53,8 +65,9 @@ from repro.workloads.suite import workload as lookup_workload
 CACHE_VERSION = 1
 
 #: ``progress(done, total, label, source, eta_s)`` — ``source`` is one
-#: of "cached", "simulated", "retried", or "failed"; ``eta_s`` is the
-#: estimated remaining wall-clock (None until one simulation finished).
+#: of "cached", "simulated", "replayed", "retried", "failed", or
+#: "quarantined"; ``eta_s`` is the estimated remaining wall-clock
+#: (None until one simulation finished).
 ProgressFn = Callable[[int, int, str, str, Optional[float]], None]
 
 
@@ -194,60 +207,71 @@ def _execute_task(task: CampaignTask) -> RunResult:
                           seed=task.seed, trace_out=trace_out)
 
 
-#: Per-process tables installed by :func:`_pool_init`; shard descriptors
+#: Per-process tables installed by :func:`_pool_init`; task payloads
 #: reference configs/specs by index so the (identical, often large)
 #: objects are pickled once per worker instead of once per task.
 _POOL_CONFIGS: List[SystemConfig] = []
 _POOL_SPECS: List[WorkloadSpec] = []
+_POOL_CHAOS: Optional[ChaosConfig] = None
 
 
-def _pool_init(configs: List[SystemConfig], specs: List[WorkloadSpec]) -> None:
+def _pool_init(configs: List[SystemConfig], specs: List[WorkloadSpec],
+               chaos: Optional[ChaosConfig] = None) -> None:
     """Worker initializer: install the campaign's shared config and
-    workload-spec tables once per process."""
-    global _POOL_CONFIGS, _POOL_SPECS
+    workload-spec tables (and any chaos schedule) once per process."""
+    global _POOL_CONFIGS, _POOL_SPECS, _POOL_CHAOS
     _POOL_CONFIGS = configs
     _POOL_SPECS = specs
+    _POOL_CHAOS = chaos
 
 
 def _execute_shard(runner: Callable[[CampaignTask], RunResult],
-                   shard: List[tuple]) -> List[tuple]:
-    """Worker entry for one shard of task descriptors.
+                   rows: List[tuple]) -> List[tuple]:
+    """Worker entry for one chunk of ``(key, payload, attempt)`` rows.
 
     Rebuilds each task from the per-process tables and runs it; a
     per-task exception is caught and reported as a ``(key, None,
-    repr)`` row so one bad task cannot poison the rest of its shard.
+    repr)`` row so one bad task cannot poison the rest of its chunk.
+    The chaos hook runs first so injected kills/hangs hit before any
+    simulation work, exactly like a real crash would.
     """
-    rows: List[tuple] = []
-    for key, design, config_idx, spec_idx, demands, seed, trace_dir in shard:
+    out: List[tuple] = []
+    for key, payload, attempt in rows:
+        design, config_idx, spec_idx, demands, seed, trace_dir = payload
+        maybe_fault(_POOL_CHAOS, key, attempt)
         task = CampaignTask(
             design=design, workload=_POOL_SPECS[spec_idx],
             config=_POOL_CONFIGS[config_idx], demands_per_core=demands,
             seed=seed, trace_dir=trace_dir,
         )
         try:
-            rows.append((key, runner(task), None))
+            out.append((key, runner(task), None))
         except Exception as error:  # noqa: BLE001 - retried by the driver
-            rows.append((key, None, repr(error)))
-    return rows
+            out.append((key, None, repr(error)))
+    return out
 
 
 # ---------------------------------------------------------------------------
 # On-disk result cache
 # ---------------------------------------------------------------------------
-class ResultCache:
+class ResultCache(ResultStore):
     """Content-addressed JSON store of :class:`RunResult`s.
 
     Layout: ``<root>/<key[:2]>/<key>.json`` — each file holds the task
     metadata (for human inspection) and the result fields. Writes are
     atomic (temp file + ``os.replace``), so a campaign killed mid-write
-    never leaves a corrupt entry; corrupt or stale-schema entries are
-    treated as misses and re-simulated.
+    never leaves a corrupt entry. An entry that nevertheless fails to
+    decode (bit rot, torn copy, chaos injection) is **quarantined** to
+    ``<key>.json.corrupt`` and counted in :attr:`corrupt` — visible in
+    the campaign summary as ``cache_corrupt`` — never silently
+    re-simulated; stale-schema entries are ordinary misses.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -262,8 +286,20 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
             self.misses += 1
+            return None
+        except ValueError:
+            # Undecodable bytes under a complete file: quarantine the
+            # entry where an operator can inspect it and count it.
+            self.corrupt += 1
+            self.misses += 1
+            quarantine_entry(path)
+            return None
+        if not isinstance(payload, dict):
+            self.corrupt += 1
+            self.misses += 1
+            quarantine_entry(path)
             return None
         result = result_from_dict(payload.get("result", {}))
         if result is None:
@@ -320,14 +356,31 @@ def result_from_dict(data: Dict[str, object]) -> Optional[RunResult]:
 @dataclass
 class CampaignOutcome:
     """What a campaign did: results aligned with the input task list
-    plus execution accounting."""
+    plus execution accounting and the structured error manifest."""
 
     results: List[Optional[RunResult]]
     by_key: Dict[str, RunResult]
     simulated: int = 0
     cached: int = 0
+    #: tasks served from the campaign journal on resume
+    replayed: int = 0
     retried: int = 0
     failures: Dict[str, str] = field(default_factory=dict)
+    #: structured failure rows (kind, attempts, detail) behind
+    #: ``failures`` — the error manifest of a degraded campaign
+    manifest: List[TaskFailure] = field(default_factory=list)
+    #: circuit-breaker state: ``{"design/workload": [failed seeds]}``
+    quarantined: Dict[str, List[int]] = field(default_factory=dict)
+    #: corrupt cache entries quarantined during this campaign
+    cache_corrupt: int = 0
+    #: result-store writes that failed (ENOSPC and friends); the
+    #: in-memory results are unaffected
+    store_errors: int = 0
+    #: supervisor accounting (pools created/recycled, deadline kills,
+    #: worker crashes, backoff totals); empty for serial runs
+    stats: Dict[str, float] = field(default_factory=dict)
+    #: campaign-level progress time series (see repro.obs.campaign)
+    series: Dict[str, List[float]] = field(default_factory=dict)
     wall_s: float = 0.0
     #: worker count actually used (after the cpu_count clamp); 0 until
     #: run_campaign fills it in
@@ -341,20 +394,29 @@ class CampaignOutcome:
         jobs = self.jobs if jobs is None else jobs
         return (f"campaign: tasks={len(self.results)} "
                 f"simulated={self.simulated} cached={self.cached} "
-                f"retried={self.retried} failures={len(self.failures)} "
+                f"replayed={self.replayed} retried={self.retried} "
+                f"failures={len(self.failures)} "
+                f"quarantined={len(self.quarantined)} "
+                f"cache_corrupt={self.cache_corrupt} "
+                f"store_errors={self.store_errors} "
                 f"wall={self.wall_s:.1f}s jobs={jobs}")
 
 
 def run_campaign(
     tasks: Sequence[CampaignTask],
     jobs: int = 1,
-    cache: Optional[ResultCache] = None,
+    cache: Optional[ResultStore] = None,
     reuse_cache: bool = True,
     retries: int = 2,
     progress: Optional[ProgressFn] = None,
     strict: bool = True,
     runner: Callable[[CampaignTask], RunResult] = _execute_task,
     clamp_jobs: bool = True,
+    policy: Optional[RetryPolicy] = None,
+    journal: Optional[CampaignJournal] = None,
+    chaos: Optional[ChaosConfig] = None,
+    pool_factory=None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> CampaignOutcome:
     """Execute a batch of simulations, in parallel, resumably.
 
@@ -368,18 +430,24 @@ def run_campaign(
         ``clamp_jobs``): oversubscribed workers only add pickling and
         context-switch cost, they cannot add parallelism.
     cache:
-        Optional :class:`ResultCache`. Fresh results are always written
-        to it; existing entries are only *read* when ``reuse_cache``.
+        Optional :class:`~repro.resilience.store.ResultStore` (usually
+        a :class:`ResultCache`). Fresh results are always written to
+        it; existing entries are only *read* when ``reuse_cache``. A
+        failing write (disk full) is counted in
+        ``outcome.store_errors`` and degrades gracefully.
     retries:
-        Extra attempts per task after a worker crash or error. Retries
-        re-run the identical task (explicit seed), so a retried result
-        is indistinguishable from a first-attempt one.
+        Extra attempts per task after a worker crash or error
+        (shorthand for ``policy.retries`` when no ``policy`` is
+        given). Retries re-run the identical task (explicit seed), so
+        a retried result is indistinguishable from a first-attempt one.
     progress:
         Optional callback, see :data:`ProgressFn`.
     strict:
-        Raise :class:`SimulationError` if any task exhausts its
-        retries; otherwise its slot in ``results`` is ``None`` and the
-        error text lands in ``outcome.failures``.
+        Raise :class:`~repro.errors.CampaignError` (carrying the error
+        manifest) if any task exhausts its retries; otherwise its slot
+        in ``results`` is ``None``, the error text lands in
+        ``outcome.failures``, and the structured row in
+        ``outcome.manifest``.
     runner:
         Task executor (module-level for process pools); injectable for
         tests.
@@ -387,13 +455,37 @@ def run_campaign(
         Clamp ``jobs`` to the host's CPU count (default). Pass
         ``False`` to force the pool path regardless — used by tests
         that must exercise the parallel machinery on small hosts.
+    policy:
+        Full :class:`~repro.resilience.policies.RetryPolicy` (deadline,
+        backoff, circuit breaker). Defaults to
+        ``RetryPolicy(retries=retries)`` — the historical behaviour.
+    journal:
+        Optional :class:`~repro.resilience.journal.CampaignJournal`.
+        Completions are durably appended as they happen; when
+        ``reuse_cache`` is on, tasks the cache cannot serve are
+        recovered exactly from their journal records instead of
+        re-simulating (``outcome.replayed``) — resume works even with
+        the cache disabled or lost.
+    chaos:
+        Optional :class:`~repro.resilience.chaos.ChaosConfig` injected
+        into pool workers (kills/hangs). Store-level chaos is applied
+        by wrapping ``cache`` in a
+        :class:`~repro.resilience.chaos.ChaosStore` instead. Worker
+        faults need ``jobs > 1``; the serial path ignores them.
+    pool_factory / sleep:
+        Injectable pool constructor and sleep (supervisor plumbing,
+        for tests).
     """
     tasks = list(tasks)
     if clamp_jobs:
         jobs = max(1, min(jobs, os.cpu_count() or 1))
+    policy = policy if policy is not None else RetryPolicy(retries=retries)
+    breaker = CircuitBreaker(policy.breaker_threshold)
+    series = CampaignSeries()
     start = time.monotonic()
     outcome = CampaignOutcome(results=[None] * len(tasks), by_key={},
                               jobs=jobs)
+    corrupt_before = getattr(cache, "corrupt", 0) if cache is not None else 0
 
     # Dedupe on key: figure batches repeat baselines; simulate once.
     unique: Dict[str, CampaignTask] = {}
@@ -411,11 +503,22 @@ def run_campaign(
         return per_task * (total - done)
 
     def report(label: str, source: str) -> None:
+        outcome.cache_corrupt = (getattr(cache, "corrupt", 0)
+                                 - corrupt_before) if cache is not None else 0
+        series.sample(
+            time.monotonic() - start, done=done, simulated=outcome.simulated,
+            cached=outcome.cached, replayed=outcome.replayed,
+            retried=outcome.retried, failed=len(outcome.failures),
+            quarantined=sum(1 for f in outcome.manifest
+                            if f.kind == "quarantined"),
+            cache_corrupt=outcome.cache_corrupt,
+            store_errors=outcome.store_errors,
+        )
         if progress is not None:
             progress(done, total, label, source, eta())
 
-    # Pass 1: serve from the cache.
-    pending: Dict[str, CampaignTask] = {}
+    # Pass 0: serve from the cache.
+    maybe_pending: Dict[str, CampaignTask] = {}
     for key, task in unique.items():
         hit = cache.get(key) if (cache is not None and reuse_cache) else None
         if hit is not None:
@@ -424,9 +527,29 @@ def run_campaign(
             done += 1
             report(task.label, "cached")
         else:
-            pending[key] = task
+            maybe_pending[key] = task
 
-    # Pass 2: simulate what's left, with bounded retry.
+    # Pass 1: replay the journal — tasks the cache could not serve
+    # (cache disabled, lost, or quarantined-corrupt) are recovered
+    # exactly from their embedded journal records, without simulating.
+    pending: Dict[str, CampaignTask] = {}
+    replayed = journal.replay() if (journal is not None and reuse_cache) \
+        else None
+    for key, task in maybe_pending.items():
+        data = replayed.results.get(key) if replayed is not None else None
+        result = result_from_dict(data) if data is not None else None
+        if result is not None:
+            outcome.by_key[key] = result
+            outcome.replayed += 1
+            done += 1
+            report(task.label, "replayed")
+        else:
+            pending[key] = task
+    if journal is not None:
+        journal.record_start(total)
+
+    # Pass 2: simulate what's left, under the retry/deadline/breaker
+    # policy, journaling every terminal outcome.
     attempts: Dict[str, int] = {key: 0 for key in pending}
 
     def record(key: str, task: CampaignTask, result: RunResult) -> None:
@@ -436,110 +559,122 @@ def run_campaign(
         done += 1
         sim_done += 1
         if cache is not None:
-            cache.put(key, result, task)
+            try:
+                cache.put(key, result, task)
+            except OSError:
+                # Graceful degradation: the in-memory result stands,
+                # the failed write is counted and visible.
+                outcome.store_errors += 1
+        if journal is not None:
+            journal.record_done(key, task.label, dataclasses.asdict(result))
         report(task.label, "simulated")
 
-    def record_failure(key: str, task: CampaignTask, detail: str) -> bool:
+    def record_failure(key: str, task: CampaignTask, kind: str,
+                       detail: str) -> bool:
         """Consume one attempt; return True if the task may retry."""
         nonlocal done
         attempts[key] += 1
-        if attempts[key] <= retries:
+        if kind != "quarantined":
+            breaker.record_failure(task.design, task.workload.name, task.seed)
+        if kind != "quarantined" and attempts[key] <= policy.retries:
             outcome.retried += 1
             report(task.label, "retried")
             return True
         outcome.failures[key] = f"{task.label}: {detail}"
+        outcome.manifest.append(TaskFailure(
+            key=key, label=task.label, kind=kind,
+            attempts=attempts[key], detail=detail))
         done += 1
-        report(task.label, "failed")
+        if journal is not None:
+            journal.record_failed(key, task.label, kind, detail,
+                                  attempts[key])
+        report(task.label, "failed" if kind != "quarantined"
+               else "quarantined")
         return False
+
+    def gate(key: str) -> Optional[str]:
+        task = unique[key]
+        if breaker.is_open(task.design, task.workload.name):
+            seeds = breaker.quarantined().get(
+                f"{task.design}/{task.workload.name}", [])
+            return (f"circuit breaker open for {task.design}/"
+                    f"{task.workload.name} (failed seeds: {seeds})")
+        return None
 
     if jobs <= 1:
         for key, task in pending.items():
             while key not in outcome.by_key and key not in outcome.failures:
+                blocked = gate(key)
+                if blocked is not None:
+                    record_failure(key, task, "quarantined", blocked)
+                    break
                 try:
                     record(key, task, runner(task))
                 except Exception as error:  # noqa: BLE001 - retried/reported
-                    if not record_failure(key, task, repr(error)):
+                    if not record_failure(key, task, "error", repr(error)):
                         break
-    else:
-        # Shard the round's tasks into one batch per worker, submitted
-        # once: pool dispatch and argument pickling are paid per shard
-        # (== per worker), not per task, and the shared config/spec
-        # objects ride the pool initializer so each worker unpickles
-        # them once. Round-robin sharding keeps the per-worker load
-        # roughly balanced across design x workload matrices.
-        remaining = dict(pending)
-        while remaining:
-            configs: List[SystemConfig] = []
-            config_index: Dict[int, int] = {}
-            specs: List[WorkloadSpec] = []
-            spec_index: Dict[int, int] = {}
-            descriptors = []
-            for key, task in remaining.items():
-                ci = config_index.get(id(task.config))
-                if ci is None:
-                    ci = config_index[id(task.config)] = len(configs)
-                    configs.append(task.config)
-                si = spec_index.get(id(task.workload))
-                if si is None:
-                    si = spec_index[id(task.workload)] = len(specs)
-                    specs.append(task.workload)
-                descriptors.append((key, task.design, ci, si,
-                                    task.demands_per_core, task.seed,
-                                    task.trace_dir))
-            shards = [descriptors[i::jobs] for i in range(jobs)]
-            shards = [shard for shard in shards if shard]
-            # A fresh pool per round: a crashed worker breaks the whole
-            # pool, poisoning every outstanding future in it.
-            with ProcessPoolExecutor(max_workers=len(shards),
-                                     initializer=_pool_init,
-                                     initargs=(configs, specs)) as pool:
-                futures = {pool.submit(_execute_shard, runner, shard): shard
-                           for shard in shards}
-                not_done = set(futures)
-                while not_done:
-                    finished, not_done = wait(not_done,
-                                              return_when=FIRST_COMPLETED)
-                    for future in finished:
-                        shard = futures[future]
-                        try:
-                            rows = future.result()
-                        except Exception as error:  # noqa: BLE001
-                            # The whole shard died (worker crash /
-                            # BrokenProcessPool): every task in it
-                            # consumes an attempt; survivors re-run in
-                            # the next round's fresh pool.
-                            for item in shard:
-                                key = item[0]
-                                task = remaining.get(key)
-                                if task is None:
-                                    continue
-                                if not record_failure(key, task, repr(error)):
-                                    remaining.pop(key, None)
-                            continue
-                        for key, result, err in rows:
-                            task = remaining[key]
-                            if err is not None:
-                                if not record_failure(key, task, err):
-                                    remaining.pop(key, None)
-                                continue
-                            record(key, task, result)
-                            remaining.pop(key, None)
+                    delay = policy.backoff_s(key, attempts[key])
+                    if delay > 0:
+                        sleep(delay)
+    elif pending:
+        # Index the shared config/spec objects once: payloads reference
+        # them by table position, the tables ride the pool initializer,
+        # so each worker unpickles them once regardless of task count.
+        configs: List[SystemConfig] = []
+        config_index: Dict[int, int] = {}
+        specs: List[WorkloadSpec] = []
+        spec_index: Dict[int, int] = {}
+        payloads: Dict[str, tuple] = {}
+        for key, task in pending.items():
+            ci = config_index.get(id(task.config))
+            if ci is None:
+                ci = config_index[id(task.config)] = len(configs)
+                configs.append(task.config)
+            si = spec_index.get(id(task.workload))
+            if si is None:
+                si = spec_index[id(task.workload)] = len(specs)
+                specs.append(task.workload)
+            payloads[key] = (task.design, ci, si, task.demands_per_core,
+                             task.seed, task.trace_dir)
+        supervisor = TaskSupervisor(
+            jobs=min(jobs, len(pending)),
+            policy=policy,
+            worker=functools.partial(_execute_shard, runner),
+            initializer=_pool_init,
+            initargs=(configs, specs, chaos),
+            pool_factory=(pool_factory if pool_factory is not None
+                          else ProcessPoolExecutor),
+            sleep=sleep,
+        )
+        supervisor.run(
+            payloads,
+            on_success=lambda key, result: record(key, pending[key], result),
+            on_failure=lambda key, kind, detail: record_failure(
+                key, pending[key], kind, detail),
+            gate=gate,
+        )
+        outcome.stats = supervisor.stats.as_dict()
 
     outcome.results = [
         outcome.by_key.get(task.key) for task in tasks
     ]
+    outcome.quarantined = breaker.quarantined()
+    outcome.cache_corrupt = (getattr(cache, "corrupt", 0)
+                             - corrupt_before) if cache is not None else 0
+    outcome.series = series.as_dict()
     outcome.wall_s = time.monotonic() - start
     if strict and outcome.failures:
-        raise SimulationError(
+        raise CampaignError(
             "campaign failed for "
-            + "; ".join(sorted(outcome.failures.values()))
+            + "; ".join(sorted(outcome.failures.values())),
+            manifest=outcome.manifest,
         )
     return outcome
 
 
 def execute_cached(
     task: CampaignTask,
-    cache: Optional[ResultCache] = None,
+    cache: Optional[ResultStore] = None,
     reuse_cache: bool = True,
 ) -> RunResult:
     """Run (or fetch) a single task through the cache — the one-task

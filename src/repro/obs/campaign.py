@@ -1,0 +1,65 @@
+"""Campaign-level progress series: the harness's own epoch stream.
+
+The :class:`~repro.obs.epochs.EpochRecorder` samples *simulated* time
+inside one run; :class:`CampaignSeries` is its host-side sibling — a
+columnar time series of campaign execution sampled at every progress
+event (task served from cache, simulated, replayed from the journal,
+retried, failed, quarantined). ``pandas.DataFrame(outcome.series)``
+turns it straight into a retry/backoff/quarantine timeline for a
+sweep, which is how a long campaign's health is monitored without
+scraping stderr.
+
+Timestamps are supplied by the caller (the campaign engine owns the
+host clock) so this module stays free of wall-clock reads, like the
+rest of ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Monotonic cumulative columns sampled at every campaign event, plus
+#: the leading wall-clock timestamp column. Schema is documented in
+#: ``docs/resilience.md``.
+CAMPAIGN_COLUMNS = (
+    "t_s", "done", "simulated", "cached", "replayed", "retried",
+    "failed", "quarantined", "cache_corrupt", "store_errors",
+)
+
+
+class CampaignSeries:
+    """Columnar record of campaign progress over host wall-clock time.
+
+    One row is appended per progress event; every column except
+    ``t_s`` is a cumulative count, so deltas between rows give
+    per-interval rates and the final row reconciles with the
+    campaign's summary counters.
+    """
+
+    def __init__(self) -> None:
+        self.series: Dict[str, List[float]] = {
+            name: [] for name in CAMPAIGN_COLUMNS
+        }
+
+    def sample(self, t_s: float, **counters: int) -> None:
+        """Append one row; missing counters repeat their last value.
+
+        ``t_s`` is seconds since campaign start, supplied by the
+        engine (host-side orchestration owns the clock).
+        """
+        self.series["t_s"].append(t_s)
+        for name in CAMPAIGN_COLUMNS[1:]:
+            column = self.series[name]
+            if name in counters:
+                column.append(counters[name])
+            else:
+                column.append(column[-1] if column else 0)
+
+    @property
+    def rows(self) -> int:
+        """Number of recorded samples."""
+        return len(self.series["t_s"])
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """The raw columnar series (JSON-ready; safe to mutate-copy)."""
+        return {name: list(column) for name, column in self.series.items()}

@@ -1,0 +1,59 @@
+"""Fault tolerance for campaign execution: the harness-layer RAS story.
+
+The paper's RAS subsystem (PR 1) injects seeded faults *inside* the
+simulated memory system and proves the controller degrades gracefully.
+This package applies the same discipline to the harness itself — the
+layer that runs 10k-task sweeps and therefore meets every host-level
+failure mode the simulator never sees: hung worker processes, SIGKILL
+mid-campaign, corrupt cache bytes, full disks.
+
+Modules:
+
+* :mod:`repro.resilience.policies` — retry/backoff/deadline policy
+  (:class:`RetryPolicy`, seeded jitter), the per-``(design, workload)``
+  :class:`CircuitBreaker`, and the structured :class:`TaskFailure`
+  error manifest;
+* :mod:`repro.resilience.journal` — :class:`CampaignJournal`, a
+  CRC-framed append-only JSONL log of task completions so ``--resume``
+  after SIGKILL replays finished work exactly and re-simulates only
+  what was in flight;
+* :mod:`repro.resilience.store` — the :class:`ResultStore` seam the
+  campaign cache implements (atomic writes, corrupt-entry quarantine),
+  pluggable for remote backends and chaos wrappers;
+* :mod:`repro.resilience.supervisor` — :class:`TaskSupervisor`, the
+  process-pool execution loop with per-task wall-clock deadlines
+  (hung workers are killed, their tasks requeued), pool reuse across
+  retry rounds, and backoff scheduling;
+* :mod:`repro.resilience.chaos` — deterministic seeded fault injection
+  (worker kills, task hangs, corrupt cache bytes, ENOSPC store errors)
+  used by the test suite and ``tdram-repro chaos`` to prove final
+  results are bit-identical under any injected schedule.
+
+Everything is deterministic given the policy/chaos seeds; see
+``docs/resilience.md`` for semantics and knobs.
+"""
+
+from repro.resilience.chaos import ChaosConfig, ChaosStore
+from repro.resilience.journal import CampaignJournal, JournalReplay
+from repro.resilience.policies import (
+    CircuitBreaker,
+    RetryPolicy,
+    TaskFailure,
+    render_manifest,
+)
+from repro.resilience.store import ResultStore
+from repro.resilience.supervisor import SupervisorStats, TaskSupervisor
+
+__all__ = [
+    "CampaignJournal",
+    "ChaosConfig",
+    "ChaosStore",
+    "CircuitBreaker",
+    "JournalReplay",
+    "ResultStore",
+    "RetryPolicy",
+    "SupervisorStats",
+    "TaskFailure",
+    "TaskSupervisor",
+    "render_manifest",
+]

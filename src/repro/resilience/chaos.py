@@ -1,0 +1,189 @@
+"""Deterministic chaos injection for the campaign harness.
+
+The same discipline the RAS subsystem applies inside the simulated
+memory system — seeded faults, counted outcomes, bit-reproducible per
+seed — applied to the host-side harness. A :class:`ChaosConfig`
+describes a *schedule* of injected faults that is a pure function of
+``(chaos seed, task key, attempt)``:
+
+* **worker kills** — the worker process ``os._exit``\\ s before running
+  the task (indistinguishable from SIGKILL / OOM-kill), breaking the
+  whole pool exactly like a real crash;
+* **task hangs** — the worker sleeps past any reasonable deadline, so
+  only deadline reaping can recover the task;
+* **corrupt cache bytes** — a just-written result-store entry is
+  overwritten with garbage, exercising the quarantine path on the next
+  read;
+* **ENOSPC store errors** — the first ``put`` of selected keys raises
+  ``OSError(ENOSPC)``, exercising graceful write degradation.
+
+Because the schedule is seeded and faults are bounded to the first
+``max_faulted_attempts`` attempts of each task, every chaos campaign
+*terminates* with full results — and because simulations are seeded
+per task, those results are bit-identical to a fault-free run. The
+test suite and ``tdram-repro chaos`` both assert exactly that.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.resilience.store import ResultStore
+
+
+def _decides(seed: int, kind: str, key: str, attempt: int,
+             prob: float) -> bool:
+    """Seeded coin flip for one injection site.
+
+    The stream is keyed on ``(seed, kind, key, attempt)`` so every
+    fault site draws independently and the whole schedule replays
+    exactly for a given chaos seed.
+    """
+    if prob <= 0.0:
+        return False
+    if prob >= 1.0:
+        return True
+    rng = random.Random(f"chaos:{seed}:{kind}:{key}:{attempt}")
+    return rng.random() < prob
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """A seeded, bounded fault-injection schedule for the harness.
+
+    All probabilities are per ``(task, attempt)`` (or per store entry
+    for the store faults). Faults only fire on attempts up to
+    :attr:`max_faulted_attempts`, which guarantees a campaign with a
+    sufficient retry budget always completes.
+    """
+
+    #: seed of the whole injection schedule
+    seed: int = 0
+    #: probability a worker dies (``os._exit``) before running a task
+    kill_prob: float = 0.0
+    #: probability a task hangs (worker sleeps ``hang_s``)
+    hang_prob: float = 0.0
+    #: how long a hung task sleeps; pick well past the deadline
+    hang_s: float = 30.0
+    #: probability a store entry is corrupted right after being written
+    corrupt_prob: float = 0.0
+    #: probability the first put of an entry fails with ENOSPC
+    enospc_prob: float = 0.0
+    #: attempts (1-based) on which worker faults may fire; later
+    #: attempts always run clean so retries converge
+    max_faulted_attempts: int = 1
+
+    @property
+    def active(self) -> bool:
+        """Whether any injection probability is non-zero."""
+        return any(p > 0.0 for p in (self.kill_prob, self.hang_prob,
+                                     self.corrupt_prob, self.enospc_prob))
+
+    # ------------------------------------------------------------------
+    def should_kill(self, key: str, attempt: int) -> bool:
+        """Whether this task attempt's worker dies before executing."""
+        return attempt <= self.max_faulted_attempts and \
+            _decides(self.seed, "kill", key, attempt, self.kill_prob)
+
+    def should_hang(self, key: str, attempt: int) -> bool:
+        """Whether this task attempt hangs instead of executing."""
+        return attempt <= self.max_faulted_attempts and \
+            _decides(self.seed, "hang", key, attempt, self.hang_prob)
+
+    def should_corrupt(self, key: str) -> bool:
+        """Whether the store entry for ``key`` gets corrupted on write."""
+        return _decides(self.seed, "corrupt", key, 1, self.corrupt_prob)
+
+    def should_enospc(self, key: str) -> bool:
+        """Whether the first put of ``key`` fails like a full disk."""
+        return _decides(self.seed, "enospc", key, 1, self.enospc_prob)
+
+
+def maybe_fault(chaos: Optional[ChaosConfig], key: str, attempt: int) -> None:
+    """Worker-side injection hook, called before executing a task.
+
+    A *kill* terminates the worker process with ``os._exit(137)`` —
+    the exact signature of SIGKILL/OOM, which breaks the process pool
+    and exercises the driver's crash-recovery path. A *hang* sleeps
+    ``hang_s`` so only deadline reaping can reclaim the worker.
+    """
+    if chaos is None:
+        return
+    if chaos.should_kill(key, attempt):
+        os._exit(137)
+    if chaos.should_hang(key, attempt):
+        time.sleep(chaos.hang_s)
+
+
+class ChaosStore(ResultStore):
+    """A :class:`ResultStore` wrapper that injects storage faults.
+
+    Wraps any inner store; reads delegate untouched (the inner store
+    owns quarantine accounting), writes may be corrupted after landing
+    (``corrupt_prob``) or rejected with ``OSError(ENOSPC)`` on their
+    first attempt (``enospc_prob`` — retried puts succeed, as a real
+    operator freeing disk space would allow).
+    """
+
+    def __init__(self, inner, chaos: ChaosConfig) -> None:
+        self.inner = inner
+        self.chaos = chaos
+        #: entries whose bytes were scrambled after a successful put
+        self.injected_corrupt = 0
+        #: puts rejected with a synthetic ENOSPC
+        self.injected_enospc = 0
+        self._put_attempts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:  # type: ignore[override]
+        """Inner store's hit count (reads delegate untouched)."""
+        return self.inner.hits
+
+    @property
+    def misses(self) -> int:  # type: ignore[override]
+        """Inner store's miss count."""
+        return self.inner.misses
+
+    @property
+    def corrupt(self) -> int:  # type: ignore[override]
+        """Inner store's quarantined-entry count."""
+        return self.inner.corrupt
+
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        """Delegate to the inner store (its quarantine path applies)."""
+        return self.inner.get(key)
+
+    def put(self, key: str, result, task=None):
+        """Store via the inner store, then maybe inject a fault."""
+        self._put_attempts[key] = self._put_attempts.get(key, 0) + 1
+        if self._put_attempts[key] == 1 and self.chaos.should_enospc(key):
+            self.injected_enospc += 1
+            raise OSError(errno.ENOSPC, "chaos: no space left on device")
+        path = self.inner.put(key, result, task)
+        if self.chaos.should_corrupt(key):
+            self._scramble(key)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.inner
+
+    # ------------------------------------------------------------------
+    def _scramble(self, key: str) -> None:
+        """Overwrite the stored entry with undecodable bytes."""
+        path_of = getattr(self.inner, "path", None)
+        if path_of is None:
+            return
+        path = path_of(key)
+        try:
+            data = path.read_bytes()
+            path.write_bytes(b"\xff\xfe" + data[2:max(2, len(data) // 2)])
+        except OSError:
+            return
+        self.injected_corrupt += 1

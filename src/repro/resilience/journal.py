@@ -1,0 +1,155 @@
+"""Checkpointed campaign journal: crash-safe progress accounting.
+
+The content-addressed result cache already makes completed work
+*reusable*; the journal makes campaign progress *durable and exact*.
+Every task completion (and terminal failure) is appended to one JSONL
+file — ``campaign.journal.jsonl`` beside the cache by convention —
+where each line is framed as::
+
+    <crc32-hex-8> <canonical-json>\\n
+
+written with a single ``os.write`` on an ``O_APPEND`` descriptor and
+fsynced, so a SIGKILL at any instant leaves at most one torn *tail*
+line, never an undetectably corrupt record. On ``--resume``, replay
+verifies every CRC, drops the torn tail (counted, not fatal), and
+returns the completed results — the campaign re-simulates only tasks
+that were genuinely in flight when the process died.
+
+``done`` records embed the full :class:`RunResult` payload, so replay
+works even with the result cache disabled or lost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Bump when the record schema changes incompatibly.
+JOURNAL_VERSION = 1
+
+
+@dataclass
+class JournalReplay:
+    """What a journal replay recovered.
+
+    ``results`` maps task key to the embedded result dict of its last
+    ``done`` record; ``failed`` maps key to the detail of its last
+    terminal-failure record; ``corrupt`` counts CRC-mismatched or
+    unparseable lines that were skipped (a torn tail after SIGKILL is
+    the expected source).
+    """
+
+    results: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    failed: Dict[str, str] = field(default_factory=dict)
+    records: int = 0
+    corrupt: int = 0
+
+
+class CampaignJournal:
+    """Append-only, CRC-framed JSONL log of campaign task outcomes."""
+
+    def __init__(self, path: Union[str, Path], fsync: bool = True) -> None:
+        self.path = Path(path)
+        #: fsync after every append (the crash-safety point; tests may
+        #: disable it for speed)
+        self.fsync = fsync
+        self.appended = 0
+        self._fd: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _descriptor(self) -> int:
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(str(self.path),
+                               os.O_APPEND | os.O_CREAT | os.O_WRONLY,
+                               0o644)
+        return self._fd
+
+    def close(self) -> None:
+        """Release the journal's file descriptor (appends reopen it)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    # ------------------------------------------------------------------
+    def append(self, record: Dict[str, object]) -> None:
+        """Durably append one record (single write + fsync).
+
+        The record is serialised canonically (sorted keys, no spaces),
+        prefixed with the CRC32 of its JSON bytes, and written as one
+        ``os.write`` call on an ``O_APPEND`` descriptor — concurrent
+        appenders interleave whole lines, and a crash tears at most the
+        final line.
+        """
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        data = line.encode("utf-8")
+        framed = b"%08x %s\n" % (zlib.crc32(data), data)
+        fd = self._descriptor()
+        os.write(fd, framed)
+        if self.fsync:
+            os.fsync(fd)
+        self.appended += 1
+
+    def record_start(self, tasks: int) -> None:
+        """Append a campaign-header record (task count + schema version)."""
+        self.append({"type": "campaign", "v": JOURNAL_VERSION,
+                     "tasks": tasks})
+
+    def record_done(self, key: str, label: str,
+                    result: Dict[str, object]) -> None:
+        """Append a completion record embedding the full result dict."""
+        self.append({"type": "done", "key": key, "label": label,
+                     "result": result})
+
+    def record_failed(self, key: str, label: str, kind: str,
+                      detail: str, attempts: int) -> None:
+        """Append a terminal-failure record (retries exhausted or
+        quarantined); replay reports these but re-simulates the task."""
+        self.append({"type": "failed", "key": key, "label": label,
+                     "kind": kind, "detail": detail, "attempts": attempts})
+
+    # ------------------------------------------------------------------
+    def replay(self) -> JournalReplay:
+        """Read the journal back, verifying every record's CRC.
+
+        Lines that do not parse or whose CRC mismatches are counted in
+        ``corrupt`` and skipped — a torn tail from SIGKILL mid-append
+        degrades to "that task re-simulates", never to a crash or a
+        wrong result. A missing journal file replays empty.
+        """
+        replay = JournalReplay()
+        try:
+            with open(self.path, "rb") as handle:
+                lines = handle.read().split(b"\n")
+        except OSError:
+            return replay
+        for raw in lines:
+            if not raw:
+                continue
+            crc_hex, _, data = raw.partition(b" ")
+            record = None
+            if len(crc_hex) == 8 and data:
+                try:
+                    if int(crc_hex, 16) == zlib.crc32(data):
+                        record = json.loads(data)
+                except ValueError:
+                    record = None
+            if not isinstance(record, dict):
+                replay.corrupt += 1
+                continue
+            replay.records += 1
+            kind = record.get("type")
+            key = record.get("key")
+            if kind == "done" and isinstance(key, str):
+                result = record.get("result")
+                if isinstance(result, dict):
+                    replay.results[key] = result
+                    replay.failed.pop(key, None)
+            elif kind == "failed" and isinstance(key, str):
+                if key not in replay.results:
+                    replay.failed[key] = str(record.get("detail", ""))
+        return replay

@@ -1,0 +1,147 @@
+"""Retry, backoff, deadline, and quarantine policy for campaigns.
+
+A :class:`RetryPolicy` bundles every knob that governs how the
+campaign engine responds to a failing task: how many extra attempts it
+gets, how long a single attempt may run on the wall clock before its
+worker is presumed hung, how long to wait between attempts
+(exponential backoff with *seeded* jitter, so two runs of the same
+campaign back off identically), and how many distinct-seed failures of
+one ``(design, workload)`` combination trip the :class:`CircuitBreaker`
+that quarantines the combo instead of burning retries on it.
+
+Failures that survive the policy end up as :class:`TaskFailure` rows —
+the structured error manifest a partial campaign returns instead of
+raising (see ``docs/resilience.md``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Failure kinds a :class:`TaskFailure` may carry, in severity order.
+FAILURE_KINDS = ("error", "crash", "timeout", "store", "quarantined")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Everything that governs a campaign's response to failure.
+
+    The defaults reproduce the pre-resilience engine exactly: two
+    retries, no deadline, no backoff, breaker disabled.
+    """
+
+    #: extra attempts per task after the first one fails
+    retries: int = 2
+    #: per-task wall-clock budget in seconds; ``None`` disables
+    #: deadline reaping (a chunk of N tasks gets ``N * deadline_s``)
+    deadline_s: Optional[float] = None
+    #: first-retry backoff in seconds; 0 retries immediately
+    backoff_base_s: float = 0.0
+    #: exponential backoff ceiling
+    backoff_cap_s: float = 30.0
+    #: +/- fraction of jitter applied to each backoff interval
+    backoff_jitter: float = 0.1
+    #: seed for the jitter stream (per-task, per-attempt deterministic)
+    jitter_seed: int = 0
+    #: distinct-seed failures of one (design, workload) combo that trip
+    #: the circuit breaker; 0 disables quarantining
+    breaker_threshold: int = 0
+    #: how often the supervisor wakes to check deadlines (seconds)
+    poll_s: float = 0.05
+
+    def backoff_s(self, key: str, attempt: int) -> float:
+        """Deterministic backoff before retry ``attempt`` (1-based) of
+        the task identified by ``key``.
+
+        ``base * 2**(attempt-1)`` capped at :attr:`backoff_cap_s`, with
+        multiplicative jitter drawn from a generator seeded by
+        ``(jitter_seed, key, attempt)`` — re-running the campaign
+        replays the identical wait schedule.
+        """
+        if self.backoff_base_s <= 0.0:
+            return 0.0
+        raw = min(self.backoff_base_s * (2 ** max(0, attempt - 1)),
+                  self.backoff_cap_s)
+        if self.backoff_jitter <= 0.0:
+            return raw
+        rng = random.Random(f"{self.jitter_seed}:{key}:{attempt}")
+        spread = self.backoff_jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, raw * (1.0 + spread))
+
+
+class CircuitBreaker:
+    """Quarantines a ``(design, workload)`` combo after repeated
+    distinct-seed failures.
+
+    One bad seed can be noise; the same combo failing under
+    ``threshold`` *different* seeds is a broken configuration, and
+    burning ``retries`` attempts on every remaining seed of a 10k-task
+    sweep multiplies the waste. Once open for a combo, every pending
+    task of that combo fails immediately with kind ``"quarantined"``.
+    """
+
+    def __init__(self, threshold: int = 0) -> None:
+        self.threshold = threshold
+        self._failed_seeds: Dict[Tuple[str, str], Set[int]] = {}
+
+    def record_failure(self, design: str, workload: str, seed: int) -> None:
+        """Note one failed attempt of ``design/workload`` under ``seed``."""
+        self._failed_seeds.setdefault((design, workload), set()).add(seed)
+
+    def is_open(self, design: str, workload: str) -> bool:
+        """Whether the combo is quarantined (enough distinct seeds failed)."""
+        if self.threshold <= 0:
+            return False
+        seeds = self._failed_seeds.get((design, workload))
+        return seeds is not None and len(seeds) >= self.threshold
+
+    def quarantined(self) -> Dict[str, List[int]]:
+        """Open combos as ``{"design/workload": sorted failed seeds}``."""
+        return {
+            f"{design}/{workload}": sorted(seeds)
+            for (design, workload), seeds in sorted(self._failed_seeds.items())
+            if self.threshold > 0 and len(seeds) >= self.threshold
+        }
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One row of the structured error manifest.
+
+    ``kind`` is one of :data:`FAILURE_KINDS`: ``error`` (the task
+    raised), ``crash`` (its worker process died), ``timeout`` (its
+    deadline expired and the worker was reaped), ``store`` (the result
+    store rejected the write), ``quarantined`` (its combo's circuit
+    breaker was open).
+    """
+
+    key: str
+    label: str
+    kind: str
+    attempts: int
+    detail: str
+
+
+def render_manifest(failures: Sequence[TaskFailure]) -> str:
+    """Human-readable per-failure table for CLI output.
+
+    One aligned row per failure: label, kind, attempts consumed, and
+    the (truncated) last error detail.
+    """
+    if not failures:
+        return "no failures"
+    rows = [("TASK", "KIND", "ATTEMPTS", "DETAIL")]
+    for failure in failures:
+        detail = failure.detail
+        if len(detail) > 60:
+            detail = detail[:57] + "..."
+        rows.append((failure.label, failure.kind, str(failure.attempts),
+                     detail))
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    lines = []
+    for label, kind, attempts, detail in rows:
+        lines.append(f"{label:<{widths[0]}}  {kind:<{widths[1]}}  "
+                     f"{attempts:<{widths[2]}}  {detail}")
+    return "\n".join(lines)

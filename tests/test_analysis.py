@@ -679,3 +679,71 @@ class TestRepositoryClean:
         for entry in baseline.entries:
             assert entry["rule"] in BASELINE_RULES
             assert entry["justification"].strip()
+
+
+# ----------------------------------------------------------------------
+# SIM012 - silent broad except in harness code
+# ----------------------------------------------------------------------
+class TestSilentExceptionSwallow:
+    def test_flags_except_exception_pass_in_experiments(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/experiments/mod.py": """\
+            def f(g):
+                try:
+                    g()
+                except Exception:
+                    pass
+            """}, select=["SIM012"])
+        assert rules_of(report) == ["SIM012"]
+        assert "except Exception" in report.findings[0].message
+
+    def test_flags_bare_except_continue_in_resilience(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/resilience/mod.py": """\
+            def f(items, g):
+                for item in items:
+                    try:
+                        g(item)
+                    except:
+                        continue
+            """}, select=["SIM012"])
+        assert rules_of(report) == ["SIM012"]
+        assert "bare except" in report.findings[0].message
+
+    def test_handled_broad_except_is_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/experiments/mod.py": """\
+            def f(g, counters):
+                try:
+                    g()
+                except Exception as error:
+                    counters["failures"] = repr(error)
+            """}, select=["SIM012"])
+        assert report.ok
+
+    def test_narrow_except_pass_is_clean(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/experiments/mod.py": """\
+            def f(g):
+                try:
+                    g()
+                except FileNotFoundError:
+                    pass
+            """}, select=["SIM012"])
+        assert report.ok
+
+    def test_non_harness_modules_exempt(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/stats/mod.py": """\
+            def f(g):
+                try:
+                    g()
+                except Exception:
+                    pass
+            """}, select=["SIM012"])
+        assert report.ok
+
+    def test_noqa_suppresses_with_reason(self, tmp_path):
+        report = lint(tmp_path, {"src/repro/experiments/mod.py": """\
+            def f(g):
+                try:
+                    g()
+                except Exception:  # tdram: noqa[SIM012] -- probe only
+                    pass
+            """}, select=["SIM012"])
+        assert report.ok

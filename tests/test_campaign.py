@@ -141,6 +141,31 @@ class TestResultCache:
         path.write_text("not json{")
         assert cache.get(key) is None
 
+    def test_corrupt_entry_is_quarantined_and_counted(self, tmp_path,
+                                                      one_result):
+        """Satellite: a corrupt entry is moved to *.corrupt and counted,
+        never silently deleted."""
+        cache = ResultCache(tmp_path)
+        key = cache_key("tdram", "cg.C", FAST, DEMANDS, SEED)
+        path = cache.put(key, one_result)
+        path.write_text("not json{")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert not path.exists()
+
+    def test_campaign_counts_corrupt_entries_and_resimulates(self, tmp_path):
+        """Satellite: a resumed campaign over a corrupted cache reports
+        cache_corrupt in its summary and re-simulates the entry."""
+        tasks = fast_tasks(designs=("tdram",), specs=("cg.C",))
+        cache = ResultCache(tmp_path)
+        run_campaign(tasks, jobs=1, cache=cache)
+        cache.path(tasks[0].key).write_text("\xff garbage")
+        resumed = run_campaign(tasks, jobs=1, cache=ResultCache(tmp_path))
+        assert resumed.simulated == 1 and resumed.cached == 0
+        assert resumed.cache_corrupt == 1
+        assert "cache_corrupt=1" in resumed.summary()
+
     def test_stale_schema_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = "a" * 64

@@ -1,4 +1,13 @@
-"""Robustness paths: watchdogs, finite streams, fill-eviction races."""
+"""Robustness paths: watchdogs, finite streams, fill-eviction races,
+worker-crash recovery, and SIGKILL-resume of journaled campaigns."""
+
+import dataclasses
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
 
 import pytest
 
@@ -102,3 +111,91 @@ class TestFillEvictionRace:
         assert system.cache.metrics.events["victim_to_flush_buffer"] >= 1
         assert "victim_readout" not in \
             system.cache.metrics.ledger.by_category()
+
+
+class TestWorkerCrashRecovery:
+    def test_worker_killed_on_first_attempt_succeeds_on_second(self):
+        """Satellite: every task's worker dies (os._exit, the SIGKILL
+        signature) on attempt 1 under a real pool; attempt 2 runs clean
+        and the campaign completes with correct results."""
+        from repro.experiments.campaign import run_campaign, tasks_for
+        from repro.resilience import ChaosConfig
+
+        tasks = tasks_for(["tdram", "no_cache"], ["cg.C"], config=FAST,
+                          demands_per_core=60, seeds=[13])
+        clean = run_campaign(tasks, jobs=2, clamp_jobs=False)
+        chaos = ChaosConfig(seed=5, kill_prob=1.0, max_faulted_attempts=1)
+        outcome = run_campaign(tasks, jobs=2, clamp_jobs=False, chaos=chaos,
+                               retries=3)
+        assert outcome.ok and outcome.simulated == len(tasks)
+        assert outcome.stats["worker_crashes"] >= 1
+        assert outcome.stats["pool_recycles"] >= 1
+        for left, right in zip(clean.results, outcome.results):
+            assert dataclasses.asdict(left) == dataclasses.asdict(right)
+
+
+class TestSigkillResume:
+    CHILD = textwrap.dedent("""\
+        import sys
+
+        from repro.config.system import MIB, SystemConfig
+        from repro.experiments.campaign import run_campaign, tasks_for
+        from repro.resilience import CampaignJournal
+
+        config = SystemConfig(cache_capacity_bytes=4 * MIB,
+                              mm_capacity_bytes=64 * MIB, cores=2)
+        tasks = tasks_for(["tdram", "cascade_lake", "no_cache"], ["cg.C"],
+                          config=config, demands_per_core=350, seeds=[13])
+
+        def progress(done, total, label, source, eta_s):
+            print(source, flush=True)
+
+        run_campaign(tasks, jobs=1, cache=None,
+                     journal=CampaignJournal(sys.argv[1]),
+                     progress=progress)
+    """)
+
+    def test_resume_simulates_only_unjournaled_tasks(self, tmp_path):
+        """Integration: SIGKILL a journaled campaign mid-flight, resume
+        with no cache at all, and the journal alone restores completed
+        tasks — exactly total - replayed tasks re-simulate."""
+        from repro.experiments.campaign import run_campaign, tasks_for
+        from repro.resilience import CampaignJournal
+
+        script = tmp_path / "child.py"
+        script.write_text(self.CHILD)
+        journal_path = tmp_path / "campaign.journal.jsonl"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(journal_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env,
+            text=True)
+        try:
+            # Wait for the first completed simulation, then SIGKILL the
+            # campaign mid-flight.
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if line.strip() == "simulated":
+                    break
+            else:  # pragma: no cover - timing guard
+                pytest.fail("child never completed a task")
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup guard
+                proc.kill()
+                proc.wait()
+        assert proc.returncode == -signal.SIGKILL
+        assert journal_path.exists()
+
+        config = FAST
+        tasks = tasks_for(["tdram", "cascade_lake", "no_cache"], ["cg.C"],
+                          config=config, demands_per_core=350, seeds=[13])
+        outcome = run_campaign(tasks, jobs=1, cache=None,
+                               journal=CampaignJournal(journal_path))
+        assert outcome.replayed >= 1
+        assert outcome.simulated == len(tasks) - outcome.replayed
+        assert all(result is not None for result in outcome.results)
