@@ -93,6 +93,11 @@ def bench_campaign(
         "speedup": (round(serial.wall_s / parallel.wall_s, 3)
                     if parallel is not None and parallel.wall_s else None),
         "bit_identical": identical,
+        # Explicit marker that the parallel leg was skipped for lack of
+        # cores: downstream perf tooling (and the CI perf-smoke job)
+        # must treat this record as a serial-only datapoint, never as
+        # evidence about parallel scaling.
+        "degraded": cpu_count < 2,
     }
     if out:
         with open(out, "w", encoding="utf-8") as handle:
@@ -111,9 +116,11 @@ def test_bench_campaign(tmp_path):
     assert record["tasks"] == 4
     if (os.cpu_count() or 1) >= 2:
         assert record["parallel"] is not None
+        assert not record["degraded"]
     else:
         assert record["parallel"] is None
         assert record["speedup"] is None
+        assert record["degraded"]
     assert json.loads(out.read_text()) == record
 
 

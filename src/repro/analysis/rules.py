@@ -1,4 +1,4 @@
-"""The SIM001–SIM012 rule set: simulator invariants as lint rules.
+"""The SIM001–SIM013 rule set: simulator invariants as lint rules.
 
 Each rule encodes one invariant the simulator's reproducibility or
 result integrity depends on; the rationale strings below are surfaced
@@ -20,7 +20,7 @@ from repro.analysis.engine import Finding, Rule, SourceFile, register
 BASELINE_RULES = frozenset({"SIM006", "SIM007"})
 
 #: All rule ids this module provides, in catalogue order.
-SIM_RULES = tuple(f"SIM{n:03d}" for n in range(1, 13))
+SIM_RULES = tuple(f"SIM{n:03d}" for n in range(1, 14))
 
 #: Module basenames that are user-interface entry points (SIM010 and
 #: the wall-clock rule do not apply: a CLI may print and show ETAs).
@@ -659,3 +659,66 @@ class NoSilentExceptionSwallow(Rule):
                     f"{caught} silently swallowed in harness code; catch "
                     "the narrow exception or count/report the failure "
                     "before continuing")
+
+
+@register
+class DesignsRegisteredInCli(Rule):
+    """SIM013 — every registered design appears in the CLI design table."""
+
+    id = "SIM013"
+    title = "no dead designs (registry vs CLI table)"
+    cross_file = True
+    rationale = (
+        "repro.cache.DESIGNS is what campaigns can simulate; the CLI's "
+        "_DESIGN_SUMMARIES table is what users can discover. A design "
+        "present in only one of them is either unreachable from the "
+        "command line (dead code that still bloats the registry) or a "
+        "documented name every campaign rejects. The two tables must "
+        "list exactly the same design names.")
+
+    def _literal_keys(self, tree: ast.Module, target_name: str) \
+            -> Optional[Tuple[ast.AST, Set[str]]]:
+        """String keys of a module-level ``target_name = {...}`` literal."""
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            if not any(isinstance(t, ast.Name) and t.id == target_name
+                       for t in targets):
+                continue
+            if not isinstance(node.value, ast.Dict):
+                continue
+            keys = {k.value for k in node.value.keys
+                    if isinstance(k, ast.Constant)
+                    and isinstance(k.value, str)}
+            return node, keys
+        return None
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
+        registry = table = None
+        reg_src = cli_src = None
+        for src in sources:
+            if src.in_module("repro.cache") and src.basename == "__init__":
+                registry = self._literal_keys(src.tree, "DESIGNS")
+                reg_src = src
+            elif src.in_module("repro.experiments") and src.basename == "cli":
+                table = self._literal_keys(src.tree, "_DESIGN_SUMMARIES")
+                cli_src = src
+        # Inert when either side is missing (e.g. linting a subtree).
+        if registry is None or table is None:
+            return
+        reg_node, reg_keys = registry
+        cli_node, cli_keys = table
+        for name in sorted(reg_keys - cli_keys):
+            yield self.finding(
+                cli_src, cli_node,
+                f"design '{name}' is registered in repro.cache.DESIGNS but "
+                "missing from the CLI _DESIGN_SUMMARIES table — "
+                "undiscoverable from the command line")
+        for name in sorted(cli_keys - reg_keys):
+            yield self.finding(
+                reg_src, reg_node,
+                f"design '{name}' is listed in the CLI _DESIGN_SUMMARIES "
+                "table but not registered in repro.cache.DESIGNS — every "
+                "campaign will reject it")

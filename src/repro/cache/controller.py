@@ -29,7 +29,7 @@ from repro.cache.prefetcher import StridePrefetcher
 from repro.cache.request import DemandRequest, Op, Outcome
 from repro.cache.tagstore import TagStore
 from repro.config.system import SystemConfig
-from repro.dram.address import AddressMapper
+from repro.dram.address import AddressMapper, DramGeometry
 from repro.dram.bus import Direction
 from repro.dram.device import AccessGrant, DramChannel
 from repro.energy.power_model import EnergyMeter
@@ -205,7 +205,7 @@ class DramCacheController(abc.ABC):
         self.main_memory = main_memory
         geometry = config.cache_geometry()
         self.mapper = AddressMapper(geometry)
-        self.tags = TagStore(geometry.total_blocks, config.cache_ways)
+        self.tags = self._build_tag_store(geometry)
         tag_timing = config.tag_timing if self.has_tag_path else None
         self.channels = [
             DramChannel(sim, config.cache_timing, geometry.banks_per_channel,
@@ -245,6 +245,21 @@ class DramCacheController(abc.ABC):
             from repro.obs.session import ObsSession
 
             self.obs = ObsSession(self)
+
+    def _build_tag_store(self, geometry: DramGeometry) -> TagStore:
+        """Construct the design's tag store (the organization seam).
+
+        The default is set-associative LRU, matching the pre-seam
+        behaviour bit for bit. ``cache_organization="reference"``
+        selects the frozen pre-seam store for A/B runs; designs with a
+        custom layout (Gemini, TicToc) override this hook.
+        """
+        if self.config.cache_organization == "reference":
+            from repro.cache.reference_tagstore import ReferenceTagStore
+
+            return ReferenceTagStore(geometry.total_blocks,
+                                     self.config.cache_ways)
+        return TagStore(geometry.total_blocks, self.config.cache_ways)
 
     # ------------------------------------------------------------------
     # Front-end interface

@@ -84,8 +84,16 @@ class CacheMetrics:
         return read_misses / reads
 
     def breakdown(self) -> Dict[str, float]:
-        """Fig. 1: fraction of demands in each hit/miss category."""
-        total = max(1, self.demands)
+        """Fig. 1: fraction of demands in each hit/miss category.
+
+        An empty measured region reports 0.0 in every category — the
+        same early-return convention as :attr:`miss_ratio` and
+        :attr:`read_miss_ratio`, rather than dividing by a fake
+        denominator of 1.
+        """
+        total = self.demands
+        if total == 0:
+            return {name: 0.0 for name in BREAKDOWN_CATEGORIES}
         return {
             name: self.outcomes[name] / total for name in BREAKDOWN_CATEGORIES
         }

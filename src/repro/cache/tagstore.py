@@ -4,25 +4,45 @@ The tag store holds the *truth* about cache contents; design
 controllers consult it to learn the outcome an access will have, then
 model the timing/energy their hardware spends discovering that outcome.
 
-Direct-mapped is the paper's primary configuration; ``ways > 1`` gives
-the set-associative variant of §V-F with LRU replacement inside a set.
-Only frames that have ever been touched are materialised (a dict), so a
-64 GiB cache costs memory proportional to the trace, not the device.
+Where a block may live and which line a conflict evicts are delegated
+to the pluggable seams in :mod:`repro.cache.organization`: an
+:class:`~repro.cache.organization.Organization` (set indexing / way
+mapping / probe cost) and a
+:class:`~repro.cache.organization.ReplacementPolicy` (victim choice +
+touch/install/evict hooks). The default pairing — modulo-indexed
+set-associative with LRU-as-list-order — is bit-identical to the
+pre-seam store (kept verbatim as
+:class:`~repro.cache.reference_tagstore.ReferenceTagStore` for A/B
+runs). Direct-mapped is the paper's primary configuration; ``ways > 1``
+gives the set-associative variant of §V-F. Only frames that have ever
+been touched are materialised (a dict), so a 64 GiB cache costs memory
+proportional to the trace, not the device.
 
 When a RAS hook is attached (``SystemConfig.ras.enabled``), every line
 additionally carries the SECDED codeword the tag mats would store
 (§III-C3), every probe decodes it, and the hook decides recovery:
 corrected errors add a latency penalty, uncorrectable ones drop the
-line so the access degrades to a clean miss-and-refetch. Fused-off
-banks force misses and reject installs, so the controller keeps serving
-traffic at reduced capacity. Without a hook the store behaves exactly
-as before — the codeword fields are inert.
+line so the access degrades to a clean miss-and-refetch. Every line
+that *leaves* the store is decoded exactly once: a probe that named a
+victim marks it ``probed`` and the ensuing install consumes the mark
+instead of decoding again, while an unpaired eviction (a fill racing
+in) decodes at eviction time — so ECC events are neither double- nor
+under-counted across the probe→install pair. Fused-off banks force
+misses and reject installs, so the controller keeps serving traffic at
+reduced capacity. Without a hook the store behaves exactly as before —
+the codeword fields are inert.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.cache.organization import (
+    LruPolicy,
+    Organization,
+    ReplacementPolicy,
+    SetAssociativeOrganization,
+)
 from repro.cache.request import Outcome
 from repro.errors import ConfigError, RasError
 
@@ -30,7 +50,7 @@ from repro.errors import ConfigError, RasError
 class _Line:
     """One resident tag line (``__slots__``: allocated per cached block)."""
 
-    __slots__ = ("block", "dirty", "codeword", "soft")
+    __slots__ = ("block", "dirty", "codeword", "soft", "probed")
 
     def __init__(self, block: int, dirty: bool, codeword: int = 0) -> None:
         self.block = block
@@ -39,6 +59,9 @@ class _Line:
         self.codeword = codeword
         #: transient read-disturb overlay, XORed onto the next read
         self.soft = 0
+        #: a miss probe already decoded this line as its would-be victim
+        #: (the next eviction consumes the mark instead of re-decoding)
+        self.probed = False
 
 
 class LookupResult:
@@ -61,17 +84,27 @@ class LookupResult:
 
 
 class TagStore:
-    """Set-associative tag/metadata array with LRU replacement."""
+    """Tag/metadata array composing an organization and a policy."""
 
-    def __init__(self, num_frames: int, ways: int = 1) -> None:
+    def __init__(self, num_frames: int, ways: int = 1,
+                 organization: Optional[Organization] = None,
+                 policy: Optional[ReplacementPolicy] = None) -> None:
         if num_frames <= 0:
             raise ConfigError("num_frames must be positive")
-        if ways <= 0 or num_frames % ways:
-            raise ConfigError(f"ways={ways} must divide num_frames={num_frames}")
+        if organization is None:
+            organization = SetAssociativeOrganization(num_frames, ways)
+        self.organization = organization
+        self.policy: ReplacementPolicy = (
+            policy if policy is not None else LruPolicy())
         self.num_frames = num_frames
+        #: maximum way count of any set (uniform organizations: all sets)
         self.ways = ways
-        self.num_sets = num_frames // ways
-        #: set index -> LRU-ordered lines (index 0 = LRU, last = MRU)
+        self.num_sets = organization.num_sets
+        #: modulo fast path for uniform organizations (the hot default);
+        #: ``None`` routes indexing through ``organization.set_index``
+        self._mod_sets: Optional[int] = (
+            organization.num_sets if organization.uniform else None)
+        #: set index -> policy-ordered lines (LRU: index 0 = LRU, last = MRU)
         self._sets: Dict[int, List[_Line]] = {}
         #: lazy prewarm backing: sets ``[0, _lazy_n)`` not present in
         #: ``_sets`` hold one line ``_Line(idx, _lazy_dirty[idx])`` that is
@@ -88,17 +121,31 @@ class TagStore:
         return self.ways - self.disabled_ways
 
     def set_index(self, block: int) -> int:
-        return block % self.num_sets
+        mod = self._mod_sets
+        if mod is not None:
+            return block % mod
+        return self.organization.set_index(block)
 
-    def _find(self, block: int) -> Tuple[List[_Line], Optional[_Line]]:
-        idx = block % self.num_sets
+    def probe_cost_ps(self, block: int) -> int:
+        """Extra search latency of ``block``'s set (organization seam)."""
+        return self.organization.probe_cost_ps(self.set_index(block))
+
+    def _capacity(self, idx: int) -> int:
+        if self._mod_sets is not None:
+            return self.ways - self.disabled_ways
+        return max(1, self.organization.ways_of(idx) - self.disabled_ways)
+
+    def _locate(self, block: int) -> Tuple[int, List[_Line], Optional[_Line]]:
+        mod = self._mod_sets
+        idx = block % mod if mod is not None else \
+            self.organization.set_index(block)
         lines = self._sets.get(idx)
         if lines is None:
             lines = self._materialize(idx)
         for line in lines:
             if line.block == block:
-                return lines, line
-        return lines, None
+                return idx, lines, line
+        return idx, lines, None
 
     def _materialize(self, idx: int) -> List[_Line]:
         """First touch of a set: realise its lazy prewarm line (if any)."""
@@ -121,15 +168,15 @@ class TagStore:
                 sets[idx] = [_Line(idx, bool(dirty[idx]))]
 
     # ------------------------------------------------------------------
-    # Probes (no state change beyond LRU touch on hit)
+    # Probes (no state change beyond the policy's touch on hit)
     # ------------------------------------------------------------------
     def probe(self, block: int, touch: bool = True) -> LookupResult:
-        """Look up ``block``; on a hit optionally refresh its LRU slot."""
+        """Look up ``block``; on a hit optionally touch its recency."""
         ras = self.ras
         if ras is not None and ras.block_disabled(block):
             # The bank's tag mat is fused off: served as a forced miss.
             return LookupResult(Outcome.MISS_INVALID)
-        lines, line = self._find(block)
+        idx, lines, line = self._locate(block)
         penalty = 0
         if line is not None and ras is not None:
             verdict = ras.on_tag_read(line, block)
@@ -138,48 +185,79 @@ class TagStore:
                 # access degrades to a miss (clean refetch / counted
                 # data loss — the hook already accounted it).
                 lines.remove(line)
+                self.policy.on_evict(line)
                 line = None
             else:
                 penalty = verdict
         if line is not None:
             if touch:
-                lines.remove(line)
-                lines.append(line)
+                self.policy.on_hit(lines, line)
             outcome = Outcome.HIT_DIRTY if line.dirty else Outcome.HIT_CLEAN
             return LookupResult(outcome, ecc_penalty_ps=penalty)
-        if len(lines) < self.available_ways:
+        if len(lines) < self._capacity(idx):
             return LookupResult(Outcome.MISS_INVALID, ecc_penalty_ps=penalty)
-        victim = lines[0]
+        victim = self.policy.victim(lines)
         if ras is not None:
-            # The set read also decoded the victim's tag word.
+            # The set read also decoded the victim's tag word; mark it
+            # so the eviction this probe leads to does not decode (and
+            # count) the same physical read again.
             verdict = ras.on_tag_read(victim, victim.block)
             if verdict is None:
                 lines.remove(victim)
+                self.policy.on_evict(victim)
                 return LookupResult(Outcome.MISS_INVALID,
                                     ecc_penalty_ps=penalty)
             penalty += verdict
+            victim.probed = True
         outcome = Outcome.MISS_DIRTY if victim.dirty else Outcome.MISS_CLEAN
         return LookupResult(outcome, victim_block=victim.block,
                             victim_dirty=victim.dirty,
                             ecc_penalty_ps=penalty)
 
     def contains(self, block: int) -> bool:
-        return self._find(block)[1] is not None
+        return self._locate(block)[2] is not None
 
     def is_dirty(self, block: int) -> bool:
-        line = self._find(block)[1]
+        line = self._locate(block)[2]
         return bool(line and line.dirty)
 
     # ------------------------------------------------------------------
     # State changes
     # ------------------------------------------------------------------
+    def _evict_for(self, idx: int, lines: List[_Line]) \
+            -> Optional[Tuple[int, bool]]:
+        """Make room in a full set: pop and account the policy's victim.
+
+        With RAS attached, leaving the store requires the victim's tag
+        word to have been read: a probe→install pair decoded it at
+        probe time (``probed`` set, consumed here); an unpaired
+        eviction — e.g. a fill whose victim was installed after the
+        miss probe — decodes it now. An uncorrectable word at that
+        point means the victim's content is unrecoverable: nothing can
+        be written back, so the eviction reports no victim (the hook
+        already counted the loss).
+        """
+        if len(lines) < self._capacity(idx):
+            return None
+        victim = self.policy.victim(lines)
+        lines.remove(victim)
+        self.policy.on_evict(victim)
+        ras = self.ras
+        if ras is not None:
+            if victim.probed:
+                victim.probed = False
+            elif ras.on_tag_read(victim, victim.block) is None:
+                return None
+        return (victim.block, victim.dirty)
+
     def install(self, block: int, dirty: bool) -> Optional[Tuple[int, bool]]:
         """Insert (or update) ``block``; returns the evicted (block, dirty).
 
         A resident block is updated in place (writes re-dirty it); an
-        absent block evicts the LRU way if the set is full. Installs
-        routed to a fused-off bank are rejected: dirty data is written
-        through to main memory by the RAS hook, clean fills are dropped.
+        absent block evicts the policy's victim if the set is full.
+        Installs routed to a fused-off bank are rejected: dirty data is
+        written through to main memory by the RAS hook, clean fills are
+        dropped.
         """
         ras = self.ras
         if ras is not None and ras.block_disabled(block):
@@ -188,24 +266,25 @@ class TagStore:
             else:
                 ras.dropped_fill()
             return None
-        lines, line = self._find(block)
+        idx, lines, line = self._locate(block)
         if line is not None:
+            became_dirty = dirty and not line.dirty
             line.dirty = line.dirty or dirty
             if ras is not None:
                 # Rewriting the word stores a fresh codeword (and clears
                 # any latent fault in the old one — counted so campaign
-                # books balance).
+                # books balance). Any earlier probe's victim decode
+                # referred to the stale word, so the pairing mark resets.
                 ras.note_rewrite(line)
                 line.codeword = ras.encode_line(block, line.dirty)
                 line.soft = 0
-            lines.remove(line)
-            lines.append(line)
+                line.probed = False
+            self.policy.on_hit(lines, line)
+            if became_dirty:
+                self.policy.on_dirty(line)
             return None
-        evicted: Optional[Tuple[int, bool]] = None
-        if len(lines) >= self.available_ways:
-            victim = lines.pop(0)
-            evicted = (victim.block, victim.dirty)
-        lines.append(self._new_line(block, dirty))
+        evicted = self._evict_for(idx, lines)
+        self.policy.on_install(lines, self._new_line(block, dirty))
         return evicted
 
     def _new_line(self, block: int, dirty: bool) -> _Line:
@@ -215,24 +294,32 @@ class TagStore:
         return _Line(block=block, dirty=dirty, codeword=codeword)
 
     def fill(self, block: int) -> Optional[Tuple[int, bool]]:
-        """Install a clean copy fetched from main memory.
+        """Install a clean copy fetched from main memory (one set walk).
 
         If the block arrived in the meantime (e.g. a write allocated it
         while the fetch was in flight), the fill is dropped so a stale
         clean copy never overwrites newer dirty data.
         """
-        if self.contains(block):
+        ras = self.ras
+        if ras is not None and ras.block_disabled(block):
+            ras.dropped_fill()
             return None
-        return self.install(block, dirty=False)
+        idx, lines, line = self._locate(block)
+        if line is not None:
+            return None
+        evicted = self._evict_for(idx, lines)
+        self.policy.on_install(lines, self._new_line(block, dirty=False))
+        return evicted
 
     def bulk_install(self, blocks: Iterable[int],
                      dirty_flags: Iterable[bool]) -> None:
-        """Fast-path warm-up: install many lines without LRU churn.
+        """Fast-path warm-up: install many lines without recency churn.
 
         Used to emulate the paper's warmed checkpoints (§IV-B): the
         steady-state resident set is installed functionally before the
         timed simulation starts. Later installs to a full set evict in
-        arrival order.
+        arrival order (policies still see install/evict/dirty hooks, so
+        residency mirrors stay exact).
         """
         # Numpy arrays convert to native lists once up front; the loop
         # below then runs on plain ints (cheaper hashing and compares).
@@ -240,47 +327,60 @@ class TagStore:
             blocks = blocks.tolist()
         if hasattr(dirty_flags, "tolist"):
             dirty_flags = dirty_flags.tolist()
-        capacity = self.available_ways
         sets = self._sets
-        num_sets = self.num_sets
+        mod = self._mod_sets
+        org = self.organization
+        policy = self.policy
         ras = self.ras
         if (ras is None and not sets and not self._lazy_n
+                and mod is not None and not policy.tracks_residency
                 and isinstance(blocks, range)
                 and blocks.step == 1 and blocks.start == 0
-                and len(blocks) <= num_sets):
+                and len(blocks) <= mod):
             # The generator prewarm path: a contiguous block range into
             # an empty store. Every block lands in its own set
             # (block % num_sets == block), so instead of allocating a
             # line per block we record the range and materialise each
             # set on first touch — a short run over a large resident set
-            # only ever realises the sets it actually probes.
+            # only ever realises the sets it actually probes. Policies
+            # that mirror residency need every install surfaced, so
+            # they take the general path below.
             self._lazy_n = len(blocks)
             self._lazy_dirty = dirty_flags
             return
         self._materialize_all()
+        uniform_capacity = self.available_ways if mod is not None else None
         for block, dirty in zip(blocks, dirty_flags):
-            lines = sets.setdefault(block % num_sets, [])
+            idx = block % mod if mod is not None else org.set_index(block)
+            lines = sets.setdefault(idx, [])
             for line in lines:
                 if line.block == block:
+                    became_dirty = bool(dirty) and not line.dirty
                     line.dirty = line.dirty or bool(dirty)
                     if ras is not None:
                         line.codeword = ras.encode_line(line.block,
                                                         line.dirty)
+                    if became_dirty:
+                        policy.on_dirty(line)
                     break
             else:
+                capacity = (uniform_capacity if uniform_capacity is not None
+                            else self._capacity(idx))
                 if len(lines) >= capacity:
-                    lines.pop(0)
+                    policy.on_evict(lines.pop(0))
                 if ras is None:
-                    lines.append(_Line(block, bool(dirty)))
+                    new_line = _Line(block, bool(dirty))
                 else:
-                    lines.append(self._new_line(int(block), bool(dirty)))
+                    new_line = self._new_line(int(block), bool(dirty))
+                policy.on_install(lines, new_line)
 
     def invalidate(self, block: int) -> bool:
         """Drop ``block`` if resident; returns whether it was present."""
-        lines, line = self._find(block)
+        _idx, lines, line = self._locate(block)
         if line is None:
             return False
         lines.remove(line)
+        self.policy.on_evict(line)
         return True
 
     def resident_blocks(self) -> int:
@@ -295,16 +395,18 @@ class TagStore:
     # ------------------------------------------------------------------
     def disable_way(self) -> List[Tuple[int, bool]]:
         """Fuse off one way store-wide; returns the (block, dirty) lines
-        evicted when materialised sets shrink to the new capacity."""
+        evicted when materialised sets shrink to the new capacity.
+        Non-uniform organizations clamp every set to at least one way."""
         if self.available_ways <= 1:
             raise RasError("cannot disable the last remaining way")
         self._materialize_all()
         self.disabled_ways += 1
-        capacity = self.available_ways
         evicted: List[Tuple[int, bool]] = []
-        for lines in self._sets.values():
+        for idx, lines in self._sets.items():
+            capacity = self._capacity(idx)
             while len(lines) > capacity:
                 victim = lines.pop(0)
+                self.policy.on_evict(victim)
                 evicted.append((victim.block, victim.dirty))
         return evicted
 
@@ -318,9 +420,9 @@ class TagStore:
         for lines in self._sets.values():
             keep = [line for line in lines if not predicate(line.block)]
             if len(keep) != len(lines):
-                evicted.extend(
-                    (line.block, line.dirty)
-                    for line in lines if predicate(line.block)
-                )
+                for line in lines:
+                    if predicate(line.block):
+                        self.policy.on_evict(line)
+                        evicted.append((line.block, line.dirty))
                 lines[:] = keep
         return evicted

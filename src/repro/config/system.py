@@ -63,6 +63,25 @@ class SystemConfig:
     #: (explicit drains only — the ablation knob isolating the
     #: opportunistic channels' contribution)
     flush_unload_policy: str = "opportunistic"
+    #: tag-store implementation: "set_associative" (the seamed default)
+    #: or "reference" (frozen pre-seam store, bit-identity A/B runs)
+    cache_organization: str = "set_associative"
+    # -- design-zoo knobs: Gemini-style hybrid mapping (gemini_hybrid) --
+    #: fraction of cache frames reserved for the direct-mapped hot region
+    gemini_direct_fraction: float = 0.5
+    #: associativity of the cold region's sets
+    gemini_assoc_ways: int = 4
+    #: demand touches before a block is promoted to the hot region
+    gemini_hot_threshold: int = 4
+    #: extra per-probe search latency in the associative region
+    gemini_assoc_probe_ns: float = 4.0
+    # -- design-zoo knobs: TicToc-style tag cache + dirty list (tictoc) --
+    #: entries in the on-die SRAM tag cache
+    tictoc_tag_cache_entries: int = 4096
+    #: cache sets per dirty-list region
+    tictoc_dirty_region_sets: int = 64
+    #: SRAM tag-cache lookup latency
+    tictoc_tag_latency_ns: float = 2.0
     # -- main memory --
     mm_channels: int = 2
     mm_banks_per_channel: int = 32           #: DDR5: 8 bank groups x 4 banks
@@ -90,6 +109,23 @@ class SystemConfig:
             raise ConfigError("cores must be positive")
         if self.cache_ways <= 0:
             raise ConfigError("cache_ways must be positive")
+        if self.cache_organization not in ("set_associative", "reference"):
+            raise ConfigError(
+                f"unknown cache_organization {self.cache_organization!r}")
+        if not 0.0 < self.gemini_direct_fraction < 1.0:
+            raise ConfigError("gemini_direct_fraction must be in (0, 1)")
+        if self.gemini_assoc_ways <= 0:
+            raise ConfigError("gemini_assoc_ways must be positive")
+        if self.gemini_hot_threshold <= 0:
+            raise ConfigError("gemini_hot_threshold must be positive")
+        if self.gemini_assoc_probe_ns < 0.0:
+            raise ConfigError("gemini_assoc_probe_ns must be non-negative")
+        if self.tictoc_tag_cache_entries <= 0:
+            raise ConfigError("tictoc_tag_cache_entries must be positive")
+        if self.tictoc_dirty_region_sets <= 0:
+            raise ConfigError("tictoc_dirty_region_sets must be positive")
+        if self.tictoc_tag_latency_ns < 0.0:
+            raise ConfigError("tictoc_tag_latency_ns must be non-negative")
         if self.cache_channels <= 0 or self.mm_channels <= 0:
             raise ConfigError("channel counts must be positive")
         if self.cache_banks_per_channel <= 0 or self.mm_banks_per_channel <= 0:

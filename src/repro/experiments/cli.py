@@ -52,6 +52,7 @@ from repro.experiments.figures import (
     fig11_speedup_vs_cl,
     fig12_speedup_vs_nocache,
     fig13_energy,
+    frontier_design_zoo,
     table4_bloat,
 )
 from repro.experiments.runner import run_experiment
@@ -89,6 +90,23 @@ _CONTEXT_FIGURES: Dict[str, Callable] = {
     "fig12": fig12_speedup_vs_nocache,
     "fig13": fig13_energy,
     "table4": table4_bloat,
+    "frontier": frontier_design_zoo,
+}
+
+#: One-line summary per registered design, shown by ``tdram-repro list``.
+#: Lint rule SIM013 (dead-design guard) fails the build if this table
+#: and ``repro.cache.DESIGNS`` ever disagree — every design a campaign
+#: can run must be discoverable from the CLI, and vice versa.
+_DESIGN_SUMMARIES: Dict[str, str] = {
+    "cascade_lake": "tags in ECC bits, direct-mapped (paper baseline)",
+    "alloy": "tag+data TAD in one 80 B burst",
+    "bear": "Alloy + bandwidth-efficient fill/writeback probes",
+    "ndc": "dedicated tag mats, same-bank tag+data",
+    "tdram": "the paper's tag-enhanced DRAM (parallel tag+data, HM bus)",
+    "ideal": "perfect tag knowledge, zero tag cost (upper bound)",
+    "no_cache": "main memory only (no DRAM cache)",
+    "gemini_hybrid": "hot lines direct-mapped, cold lines set-associative",
+    "tictoc": "SRAM tag cache + dirty-region list deciding probe-vs-bypass",
 }
 
 _STANDALONE: Dict[str, Callable] = {
@@ -286,6 +304,9 @@ def main(argv=None) -> int:
                           "report", "selfcheck", "suite", "trace",
                           "trace-capture", "trace-stats"])
         print("available targets:", ", ".join(names))
+        print("designs (for run/campaign/--designs):")
+        for name in sorted(_DESIGN_SUMMARIES):
+            print(f"  {name:<14} {_DESIGN_SUMMARIES[name]}")
         return 0
     if target == "selfcheck":
         from repro.validation import render_selfcheck, run_selfcheck

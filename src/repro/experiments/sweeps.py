@@ -132,3 +132,19 @@ def mlp_sweep(values: Iterable[int] = (1, 2, 4, 8, 16), **kwargs) -> FigureResul
 def channel_sweep(values: Iterable[int] = (2, 4, 8), **kwargs) -> FigureResult:
     """DRAM-cache channel-count sweep (bandwidth scaling)."""
     return config_sweep("cache_channels", list(values), **kwargs)
+
+
+def gemini_fraction_sweep(
+    values: Iterable[float] = (0.25, 0.5, 0.75), **kwargs
+) -> FigureResult:
+    """Gemini hybrid: sweep the direct-mapped region's share of frames."""
+    kwargs.setdefault("design", "gemini_hybrid")
+    return config_sweep("gemini_direct_fraction", list(values), **kwargs)
+
+
+def tictoc_tag_cache_sweep(
+    values: Iterable[int] = (256, 1024, 4096, 16384), **kwargs
+) -> FigureResult:
+    """TicToc: sweep the SRAM tag-cache size (probe-avoidance reach)."""
+    kwargs.setdefault("design", "tictoc")
+    return config_sweep("tictoc_tag_cache_entries", list(values), **kwargs)

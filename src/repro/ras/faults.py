@@ -103,7 +103,7 @@ class FaultInjector:
         if targeted and self.recent:
             for _ in range(_MAX_DRAWS):
                 block = self.recent[self.rng.randrange(len(self.recent))]
-                line = self.tags._find(block)[1]
+                line = self.tags._locate(block)[2]
                 if line is None:
                     continue
                 if want_clean_line and line.dirty:

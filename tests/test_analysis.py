@@ -747,3 +747,45 @@ class TestSilentExceptionSwallow:
                     pass
             """}, select=["SIM012"])
         assert report.ok
+
+
+# ----------------------------------------------------------------------
+# SIM013 - design registry vs CLI design table (cross-file)
+# ----------------------------------------------------------------------
+class TestDesignsRegisteredInCli:
+    @staticmethod
+    def _tree(registry_keys, table_keys):
+        registry = ", ".join(f'"{k}": object' for k in registry_keys)
+        table = ", ".join(f'"{k}": "summary"' for k in table_keys)
+        return {
+            "src/repro/cache/__init__.py":
+                f"DESIGNS = {{{registry}}}\n",
+            "src/repro/experiments/cli.py":
+                f"_DESIGN_SUMMARIES = {{{table}}}\n",
+        }
+
+    def test_matching_tables_are_clean(self, tmp_path):
+        report = lint(tmp_path, self._tree(["tdram", "alloy"],
+                                           ["tdram", "alloy"]),
+                      select=["SIM013"])
+        assert report.ok
+
+    def test_registered_design_missing_from_cli(self, tmp_path):
+        report = lint(tmp_path, self._tree(["tdram", "alloy"], ["tdram"]),
+                      select=["SIM013"])
+        assert rules_of(report) == ["SIM013"]
+        assert "'alloy'" in report.findings[0].message
+        assert "undiscoverable" in report.findings[0].message
+
+    def test_cli_entry_missing_from_registry(self, tmp_path):
+        report = lint(tmp_path, self._tree(["tdram"], ["tdram", "ghost"]),
+                      select=["SIM013"])
+        assert rules_of(report) == ["SIM013"]
+        assert "'ghost'" in report.findings[0].message
+        assert "reject" in report.findings[0].message
+
+    def test_inert_when_one_side_missing(self, tmp_path):
+        report = lint(tmp_path, {
+            "src/repro/cache/__init__.py": 'DESIGNS = {"tdram": object}\n',
+        }, select=["SIM013"])
+        assert report.ok

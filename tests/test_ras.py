@@ -205,7 +205,7 @@ class TestEccTagPath:
     """Unit-level recovery semantics through TagStore + RasManager."""
 
     def _line(self, tags, block):
-        line = tags._find(block)[1]
+        line = tags._locate(block)[2]
         assert line is not None
         return line
 
@@ -310,7 +310,7 @@ class TestPatrolScrubber:
     def test_latent_single_bit_repaired(self, make_system):
         system, ras, tags = _tdram_with_ras(make_system)
         tags.install(10, dirty=False)
-        line = tags._find(10)[1]
+        line = tags._locate(10)[2]
         line.codeword ^= 1 << 7
         system.run(4000)                 # > scrub_interval_ns (1950)
         assert ras.counters["scrub_repaired"] == 1
@@ -319,7 +319,7 @@ class TestPatrolScrubber:
     def test_uncorrectable_line_dropped_and_counted(self, make_system):
         system, ras, tags = _tdram_with_ras(make_system)
         tags.install(10, dirty=False)
-        tags._find(10)[1].codeword ^= 0b101
+        tags._locate(10)[2].codeword ^= 0b101
         system.run(4000)
         assert ras.counters["scrub_uncorrectable"] == 1
         assert not tags.contains(10)
