@@ -22,7 +22,7 @@ from repro.cache.controller import CacheOp, ChannelScheduler, DramCacheControlle
 from repro.cache.predictor import MapIPredictor
 from repro.cache.request import DemandRequest, Op, Outcome
 from repro.config.system import SystemConfig
-from repro.memory.main_memory import MainMemory
+from repro.memory.backend import MemoryBackend
 from repro.sim.kernel import Simulator
 
 
@@ -34,7 +34,7 @@ class CascadeLakeCache(DramCacheController):
     has_tag_path = False
 
     def __init__(self, sim: Simulator, config: SystemConfig,
-                 main_memory: MainMemory) -> None:
+                 main_memory: MemoryBackend) -> None:
         super().__init__(sim, config, main_memory)
         self.predictor: Optional[MapIPredictor] = (
             MapIPredictor() if config.use_predictor else None

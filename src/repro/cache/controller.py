@@ -34,7 +34,7 @@ from repro.dram.bus import Direction
 from repro.dram.device import AccessGrant, DramChannel
 from repro.energy.power_model import EnergyMeter
 from repro.errors import CapacityError
-from repro.memory.main_memory import MainMemory
+from repro.memory.backend import MemoryBackend
 from repro.sim.kernel import Simulator
 
 
@@ -199,10 +199,13 @@ class DramCacheController(abc.ABC):
     has_tag_path = False
 
     def __init__(self, sim: Simulator, config: SystemConfig,
-                 main_memory: MainMemory) -> None:
+                 main_memory: MemoryBackend) -> None:
         self.sim = sim
         self.config = config
         self.main_memory = main_memory
+        #: allocation policy: "write_allocate" (default), "write_only",
+        #: or "write_around" — see docs/backends.md
+        self.cache_mode = config.cache_mode
         geometry = config.cache_geometry()
         self.mapper = AddressMapper(geometry)
         self.tags = self._build_tag_store(geometry)
@@ -286,9 +289,34 @@ class DramCacheController(abc.ABC):
         request.arrive_time = self.sim.now
         if self.obs is not None:
             self.obs.on_enqueue(request)
+        if (self.cache_mode == "write_around" and request.op is Op.WRITE
+                and not self.tags.contains(request.block_addr)):
+            self._bypass_write(request)
+            return
         if self.prefetcher is not None and request.op is Op.READ:
             self._drive_prefetcher(request)
         self._enqueue(request)
+
+    def _bypass_write(self, request: DemandRequest) -> None:
+        """write_around: send a write miss straight to the backing store.
+
+        The cache is not allocated: the 64 demand bytes go to the
+        backend as a posted write (a *useful* move — they are the
+        demand's payload), the miss is still recorded against the tag
+        store so every design sees the same outcome stream, and any
+        stale copy of the block sitting in a flush buffer is dropped
+        (the bypassed write supersedes it).
+        """
+        now = self.sim.now
+        flush = getattr(self, "flush", None)
+        if flush is not None:
+            flush.remove(request.block_addr)
+        result = self.tags.probe(request.block_addr, touch=False)
+        self._record_tag_result(request, now, result.outcome)
+        self.metrics.events.add("write_around_bypass")
+        self.metrics.ledger.move("mm_write_direct", 64, useful=True)
+        self.main_memory.write(request.block_addr)
+        request.complete(now)
 
     def _drive_prefetcher(self, request: DemandRequest) -> None:
         """Train the stride prefetcher and launch speculative fills.
@@ -371,6 +399,12 @@ class DramCacheController(abc.ABC):
             if self.obs is not None:
                 self.obs.on_fetch_return(demand, time)
             self._complete_read(demand, time)
+        if self.cache_mode == "write_only":
+            # Dirty-traffic-only caching: a fetched line streams through
+            # to the requestor without allocating a frame, so the cache
+            # holds nothing a writeback would not need anyway.
+            self.metrics.events.add("read_fill_bypassed")
+            return
         evicted = self.tags.fill(block)
         if evicted is None and not self.tags.contains(block):
             return  # fill dropped (newer data raced in) and nothing evicted

@@ -29,7 +29,7 @@ from repro.cache.request import DemandRequest
 from repro.cache.tagstore import TagStore
 from repro.config.system import SystemConfig
 from repro.dram.address import DramGeometry
-from repro.memory.main_memory import MainMemory
+from repro.memory.backend import MemoryBackend
 from repro.sim.kernel import Simulator, ns
 
 
@@ -41,7 +41,7 @@ class GeminiHybridCache(CascadeLakeCache):
     has_tag_path = False
 
     def __init__(self, sim: Simulator, config: SystemConfig,
-                 main_memory: MainMemory) -> None:
+                 main_memory: MemoryBackend) -> None:
         # The hotness table must exist before the base constructor runs:
         # _build_tag_store hands the organization a live reference to it.
         self._hot: Set[int] = set()

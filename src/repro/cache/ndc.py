@@ -21,7 +21,7 @@ from __future__ import annotations
 from repro.cache.tdram import TdramCache
 from repro.config.system import SystemConfig
 from repro.dram.bus import Direction
-from repro.memory.main_memory import MainMemory
+from repro.memory.backend import MemoryBackend
 from repro.sim.kernel import Simulator
 
 
@@ -31,7 +31,7 @@ class NdcCache(TdramCache):
     design_name = "ndc"
 
     def __init__(self, sim: Simulator, config: SystemConfig,
-                 main_memory: MainMemory) -> None:
+                 main_memory: MemoryBackend) -> None:
         super().__init__(sim, config, main_memory)
         self.enable_probing = False
         self.unload_on_refresh = False

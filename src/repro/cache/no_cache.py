@@ -12,7 +12,7 @@ from functools import partial
 from repro.cache.metrics import CacheMetrics
 from repro.cache.request import DemandRequest, Op
 from repro.config.system import SystemConfig
-from repro.memory.main_memory import MainMemory
+from repro.memory.backend import MemoryBackend
 from repro.sim.kernel import Simulator
 
 
@@ -23,7 +23,7 @@ class NoCacheSystem:
     has_tag_path = False
 
     def __init__(self, sim: Simulator, config: SystemConfig,
-                 main_memory: MainMemory) -> None:
+                 main_memory: MemoryBackend) -> None:
         self.sim = sim
         self.config = config
         self.main_memory = main_memory
@@ -37,10 +37,7 @@ class NoCacheSystem:
     def can_accept(self, op: Op, block: int) -> bool:
         if op is Op.READ:
             return self._inflight_reads < self._read_capacity
-        pending_writes = sum(
-            len(s.writes) for s in self.main_memory._schedulers
-        )
-        return pending_writes < self._write_capacity
+        return self.main_memory.pending_writes() < self._write_capacity
 
     def submit(self, request: DemandRequest) -> None:
         request.arrive_time = self.sim.now

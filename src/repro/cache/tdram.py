@@ -30,7 +30,7 @@ from repro.core.flush_buffer import FlushBuffer
 from repro.core.probe import ProbeEngine
 from repro.errors import CapacityError
 from repro.dram.bus import Direction
-from repro.memory.main_memory import MainMemory
+from repro.memory.backend import MemoryBackend
 from repro.sim.kernel import Simulator, ns
 
 #: Controller-side latency to recognise and serve a flush-buffer hit.
@@ -45,7 +45,7 @@ class TdramCache(DramCacheController):
     has_tag_path = True
 
     def __init__(self, sim: Simulator, config: SystemConfig,
-                 main_memory: MainMemory) -> None:
+                 main_memory: MemoryBackend) -> None:
         super().__init__(sim, config, main_memory)
         self.flush = FlushBuffer(config.flush_buffer_entries)
         if self.ras is not None:

@@ -38,7 +38,7 @@ from repro.cache.request import DemandRequest, Op
 from repro.cache.tagstore import TagStore
 from repro.config.system import SystemConfig
 from repro.dram.address import DramGeometry
-from repro.memory.main_memory import MainMemory
+from repro.memory.backend import MemoryBackend
 from repro.sim.kernel import Simulator, ns
 
 
@@ -50,7 +50,7 @@ class TicTocCache(CascadeLakeCache):
     has_tag_path = False
 
     def __init__(self, sim: Simulator, config: SystemConfig,
-                 main_memory: MainMemory) -> None:
+                 main_memory: MemoryBackend) -> None:
         super().__init__(sim, config, main_memory)
         #: SRAM tag-cache lookup latency charged on short-circuited paths
         self._sram_ps = ns(config.tictoc_tag_latency_ns)

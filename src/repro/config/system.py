@@ -87,6 +87,33 @@ class SystemConfig:
     mm_banks_per_channel: int = 32           #: DDR5: 8 bank groups x 4 banks
     mm_capacity_bytes: int = 16 * 64 * MIB   #: 16x the cache, as in the paper
     mm_timing: DramTiming = field(default_factory=ddr5_timing)
+    # -- backing-store backend tier (docs/backends.md) --
+    #: "ddr5" (default open-page FR-FCFS model), "ddr5_reference"
+    #: (frozen pre-seam copy for bit-identity A/B runs), "pcm_like"
+    #: (asymmetric timing, bounded MSHRs, deferred writes, wear), or
+    #: "cxl_like" (serialized link latency + bandwidth credits)
+    memory_backend: str = "ddr5"
+    #: pcm_like: array service time of one 64 B read / write
+    pcm_read_ns: float = 150.0
+    pcm_write_ns: float = 500.0
+    #: pcm_like: bounded read MSHRs (coalescing; overflow reads stall)
+    pcm_mshr_entries: int = 32
+    #: pcm_like: deferred write-queue capacity (overflow is counted)
+    pcm_write_queue_entries: int = 64
+    #: pcm_like: period of the tick event draining deferred writes
+    pcm_drain_tick_ns: float = 50.0
+    #: cxl_like: flat link + device latency added to every access
+    cxl_latency_ns: float = 180.0
+    #: cxl_like: serialized link bandwidth for 64 B transfers (GB/s)
+    cxl_bandwidth_gbps: float = 32.0
+    #: cxl_like: outstanding-request credits (latency-overlap bound)
+    cxl_credits: int = 16
+    # -- cache allocation policy (rides the controller's mode seam) --
+    #: "write_allocate" (default: misses fill the cache),
+    #: "write_only" (read misses stream through without allocating —
+    #: only dirty traffic occupies the cache), or "write_around"
+    #: (write misses bypass straight to the backend; reads allocate)
+    cache_mode: str = "write_allocate"
     # -- processors / front end --
     cores: int = 8
     #: Effective memory-level parallelism of one core on DRAM-latency
@@ -130,6 +157,31 @@ class SystemConfig:
             raise ConfigError("channel counts must be positive")
         if self.cache_banks_per_channel <= 0 or self.mm_banks_per_channel <= 0:
             raise ConfigError("banks per channel must be positive")
+        # Imported lazily: repro.memory pulls in the dram/energy models,
+        # which must stay importable without the config package.
+        from repro.memory.backend import MEMORY_BACKENDS
+
+        if self.memory_backend not in MEMORY_BACKENDS:
+            raise ConfigError(
+                f"unknown memory_backend {self.memory_backend!r}; "
+                f"choose from {MEMORY_BACKENDS}")
+        if self.cache_mode not in ("write_allocate", "write_only",
+                                   "write_around"):
+            raise ConfigError(
+                f"unknown cache_mode {self.cache_mode!r}; choose from "
+                "('write_allocate', 'write_only', 'write_around')")
+        if self.pcm_read_ns <= 0.0 or self.pcm_write_ns <= 0.0:
+            raise ConfigError("pcm service times must be positive")
+        if self.pcm_mshr_entries <= 0 or self.pcm_write_queue_entries <= 0:
+            raise ConfigError("pcm queue bounds must be positive")
+        if self.pcm_drain_tick_ns <= 0.0:
+            raise ConfigError("pcm_drain_tick_ns must be positive")
+        if self.cxl_latency_ns < 0.0:
+            raise ConfigError("cxl_latency_ns must be non-negative")
+        if self.cxl_bandwidth_gbps <= 0.0:
+            raise ConfigError("cxl_bandwidth_gbps must be positive")
+        if self.cxl_credits <= 0:
+            raise ConfigError("cxl_credits must be positive")
         # Fail bad sweep configs fast: an inconsistent timing table
         # (e.g. tRCD > tRAS) otherwise simulates quiet nonsense.
         self.cache_timing.validate()

@@ -9,6 +9,9 @@ Installed as ``tdram-repro``::
     tdram-repro run tdram ft.D       # one simulation, all metrics
     tdram-repro campaign --jobs 4    # designs x workloads sweep, cached
     tdram-repro campaign --resume    # reuse cache + replay the journal
+    tdram-repro campaign --backend pcm_like
+                                     # same sweep over a PCM-like store
+    tdram-repro backends --jobs 4    # DDR5 vs PCM vs CXL speedup figure
     tdram-repro chaos --jobs 2       # prove bit-identical results under
                                      # injected crashes/corruption
     tdram-repro trace --workload synthetic --out trace.json
@@ -80,6 +83,12 @@ def _tdram_ablation_lazy(**kwargs):
 
     return tdram_ablation(**kwargs)
 
+
+def _backends_lazy(**kwargs):
+    from repro.experiments.backends_figure import backends_comparison
+
+    return backends_comparison(**kwargs)
+
 _CONTEXT_FIGURES: Dict[str, Callable] = {
     "fig1": fig01_hit_miss_breakdown,
     "fig2": fig02_queueing_baselines,
@@ -119,6 +128,7 @@ _STANDALONE: Dict[str, Callable] = {
     "ways": way_select_study,
     "ablation": probing_ablation,
     "tdram-ablation": _tdram_ablation_lazy,
+    "backends": _backends_lazy,
 }
 
 
@@ -206,6 +216,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", action="store_true",
                         help="campaign: record a Chrome trace per run "
                              "beside its cached result")
+    parser.add_argument("--backend", default="ddr5",
+                        help="campaign/run: backing-store backend model "
+                             "(ddr5, pcm_like, cxl_like; default ddr5 — "
+                             "see docs/backends.md)")
     parser.add_argument("--determinism", action="store_true",
                         help="selfcheck: also run one synthetic workload "
                              "twice with the same seed and require "
@@ -373,7 +387,7 @@ def main(argv=None) -> int:
             specs = full_suite()
         else:
             specs = representative_suite()
-        config = SystemConfig.small()
+        config = SystemConfig.small().with_(memory_backend=args.backend)
         trace_dir = None
         if args.trace:
             from repro.obs import ObsConfig
@@ -466,18 +480,20 @@ def main(argv=None) -> int:
             print("usage: tdram-repro run DESIGN WORKLOAD", file=sys.stderr)
             return 2
         design, workload_name = args.args
-        result = run_experiment(design, workload_name,
-                                config=SystemConfig.small(),
+        config = SystemConfig.small().with_(memory_backend=args.backend)
+        result = run_experiment(design, workload_name, config=config,
                                 demands_per_core=args.demands, seed=args.seed)
         for key, value in sorted(vars(result).items()):
             print(f"{key}: {value}")
         return 0
     if target in _STANDALONE:
         kwargs = {}
-        if target == "tdram-ablation":
+        if target in ("tdram-ablation", "backends"):
             kwargs = {"jobs": args.jobs, "cache": _cache(args)}
             if args.jobs > 1:
                 kwargs["progress"] = _progress
+            if target == "backends":
+                kwargs["demands_per_core"] = args.demands
         print(_STANDALONE[target](**kwargs).render())
         return 0
     if target in _CONTEXT_FIGURES:

@@ -18,7 +18,7 @@ from repro.config.system import SystemConfig
 from repro.energy.power_model import EnergyMeter
 from repro.errors import ConfigError, SimulationError
 from repro.frontend.core_model import build_cores
-from repro.memory.main_memory import MainMemory
+from repro.memory.backend import MemoryBackend, build_backend
 from repro.sim.kernel import Simulator, ns, to_ns
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.suite import demand_stream, workload as lookup_workload
@@ -87,6 +87,9 @@ class RunResult:
     sim_events: int = 0
     #: RAS campaign counters + degradation state (empty when disabled)
     ras: Dict[str, int] = field(default_factory=dict)
+    #: backing-store backend counters (MSHR/coalesce/write-queue/wear;
+    #: empty for the DDR5 backends) — see docs/backends.md
+    backend: Dict[str, int] = field(default_factory=dict)
     #: columnar epoch time series (empty unless config.obs.epoch_us > 0);
     #: schema in docs/tracing.md — pandas.DataFrame(result.epochs) works
     epochs: Dict[str, List[float]] = field(default_factory=dict)
@@ -169,8 +172,7 @@ def _run(
         raise ConfigError(f"unknown design {design!r}; choose from {sorted(DESIGNS)}")
     sim = Simulator()
     mm_meter = EnergyMeter(config.energy_model, config.mm_channels, False)
-    main_memory = MainMemory(sim, config.mm_timing, config.mm_geometry(),
-                             meter=mm_meter)
+    main_memory = build_backend(sim, config, meter=mm_meter)
     sink = DESIGNS[design](sim, config, main_memory)
     _prewarm(sink, spec, config, seed, blocks=prewarm_blocks)
 
@@ -188,9 +190,7 @@ def _run(
         if sink.meter is not None:
             sink.meter.reset()
         mm_meter.reset()
-        for scheduler in main_memory._schedulers:
-            scheduler.read_queue_delay.reset()
-            scheduler.read_latency.reset()
+        main_memory.reset_measurement()
         flush = getattr(sink, "flush", None)
         if flush is not None:
             flush.occupancy.reset()
@@ -280,6 +280,7 @@ def _run(
     ras = getattr(sink, "ras", None)
     if ras is not None:
         result.ras = ras.snapshot()
+    result.backend = main_memory.snapshot()
     obs = getattr(sink, "obs", None)
     if obs is not None:
         obs.finalize()
@@ -316,14 +317,11 @@ def _prewarm(sink, spec: WorkloadSpec, config: SystemConfig, seed: int,
     tags.bulk_install(blocks, dirty)
 
 
-def _queue_delay_ns(design: str, sink, main_memory: MainMemory) -> float:
+def _queue_delay_ns(design: str, sink, main_memory: MemoryBackend) -> float:
     """Read-buffer queueing delay; the no-cache system reports the
     main-memory read queue instead (Fig. 2's rightmost bars)."""
     if isinstance(sink, NoCacheSystem):
-        stats = [s.read_queue_delay for s in main_memory._schedulers]
-        count = sum(s.count for s in stats)
-        total = sum(s.total_ps for s in stats)
-        return total / count / 1000.0 if count else 0.0
+        return main_memory.read_queue_delay_ns
     return sink.metrics.read_queue_delay.mean_ns
 
 

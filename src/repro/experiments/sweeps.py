@@ -134,6 +134,19 @@ def channel_sweep(values: Iterable[int] = (2, 4, 8), **kwargs) -> FigureResult:
     return config_sweep("cache_channels", list(values), **kwargs)
 
 
+def backend_sweep(
+    values: Iterable[str] = ("ddr5", "pcm_like", "cxl_like"), **kwargs
+) -> FigureResult:
+    """Swap the backing-store media model behind the cache.
+
+    Sweeps ``SystemConfig.memory_backend`` — see ``docs/backends.md``
+    for what each backend models and the knobs that shape it. The
+    richer per-mechanism comparison is ``tdram-repro backends``
+    (:func:`repro.experiments.backends_figure.backends_comparison`).
+    """
+    return config_sweep("memory_backend", list(values), **kwargs)
+
+
 def gemini_fraction_sweep(
     values: Iterable[float] = (0.25, 0.5, 0.75), **kwargs
 ) -> FigureResult:

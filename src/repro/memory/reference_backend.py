@@ -1,22 +1,16 @@
-"""DDR5 backing-store model — the default ``ddr5`` memory backend.
+"""Frozen pre-seam DDR5 model — the ``ddr5_reference`` backend.
 
-The backing store serves read-miss fetches and dirty writebacks from the
-DRAM cache (or all demands in the no-cache baseline). This module holds
-the default implementation of the :class:`~repro.memory.backend.
-MemoryBackend` seam: Table III's 128 GiB / 2-channel DDR5, where each
-channel runs an independent **open-page** FR-FCFS scheduler (row hits
-first) with a write-drain watermark policy — the page policy gem5
-defaults to for DDR5, which gives streaming writebacks realistic
-row-buffer locality (the DRAM cache itself is close-page, per
-Table III).
+A verbatim copy of the DDR5 scheduler logic as it stood before the
+backend seam was introduced, kept **only** so the bit-identity tests
+can A/B the seamed default against it: for every design,
+``memory_backend="ddr5"`` and ``memory_backend="ddr5_reference"`` must
+produce ``dataclasses.asdict``-identical ``RunResult``s. Mirrors the
+``cache_organization="reference"`` pattern of the design zoo
+(:mod:`repro.cache.reference_tagstore`).
 
-The paper bounds its main-memory buffers at 64 entries; this DDR5
-model keeps its queues unbounded with occupancy tracked instead — the
-DRAM-cache controller's own bounded buffers (where the paper locates
-the contention effects, §II-B) provide the system back-pressure.
-Bounded MSHRs and a bounded deferred write queue are properties of the
-hybrid-media backends (:mod:`repro.memory.pcm`,
-:mod:`repro.memory.cxl`); see ``docs/backends.md``.
+Do not extend or "fix" this module: behavioural changes belong in
+:mod:`repro.memory.main_memory`, and a divergence between the two is
+exactly what the A/B tests exist to catch.
 """
 
 from __future__ import annotations
@@ -32,7 +26,7 @@ from repro.sim.kernel import Simulator
 from repro.stats.counters import LatencyStat
 
 
-class _PendingRead:
+class _RefPendingRead:
     __slots__ = ("block", "bank", "row", "arrive", "order", "callback")
 
     def __init__(self, block: int, bank: int, row: int, arrive: int,
@@ -41,14 +35,11 @@ class _PendingRead:
         self.bank = bank
         self.row = row
         self.arrive = arrive
-        #: demand age (sequence number): FR-FCFS breaks ties by age so a
-        #: fetch launched early (e.g. by TDRAM's probing) never overtakes
-        #: an older demand's fetch at the backing store
         self.order = order
         self.callback = callback
 
 
-class _PendingWrite:
+class _RefPendingWrite:
     __slots__ = ("block", "bank", "row", "arrive")
 
     def __init__(self, block: int, bank: int, row: int, arrive: int) -> None:
@@ -58,8 +49,8 @@ class _PendingWrite:
         self.arrive = arrive
 
 
-class _ChannelScheduler:
-    """FR-FCFS with write-drain hysteresis for one DDR5 channel."""
+class _RefChannelScheduler:
+    """Frozen copy of the pre-seam FR-FCFS + write-drain scheduler."""
 
     HIGH_WATERMARK = 32
     LOW_WATERMARK = 8
@@ -69,30 +60,24 @@ class _ChannelScheduler:
         self.sim = sim
         self.channel = channel
         self.meter = meter
-        self.reads: List[_PendingRead] = []
-        self.writes: List[_PendingWrite] = []
+        self.reads: List[_RefPendingRead] = []
+        self.writes: List[_RefPendingWrite] = []
         self.draining = False
         self._wake_at: Optional[int] = None
         self.read_queue_delay = LatencyStat("mm_read_queue")
         self.read_latency = LatencyStat("mm_read_latency")
 
-    def add_read(self, request: _PendingRead) -> None:
+    def add_read(self, request: _RefPendingRead) -> None:
         """Enqueue a read and try to issue immediately."""
         self.reads.append(request)
         self._kick()
 
-    def add_write(self, request: _PendingWrite) -> None:
+    def add_write(self, request: _RefPendingWrite) -> None:
         """Enqueue a posted write (drained by watermark policy)."""
         self.writes.append(request)
         self._kick()
 
     def _select(self, queue, at: int):
-        """FR-FCFS: row hits first, then bank-ready, then the oldest.
-
-        Age is the demand sequence number where provided (reads), so
-        requests issued early out of demand order (probing) do not
-        overtake older demands.
-        """
         banks = self.channel.banks
         ready_hit = None
         ready = None
@@ -163,7 +148,7 @@ class _ChannelScheduler:
             self.meter.record("col_op")
             self.meter.add_dq_bytes(64)
         if not is_write:
-            read = request  # type: _PendingRead
+            read = request  # type: _RefPendingRead
             self.read_queue_delay.record(now - read.arrive)
             assert grant.data_end is not None
             self.read_latency.record(grant.data_end - read.arrive)
@@ -171,15 +156,14 @@ class _ChannelScheduler:
                 finish = grant.data_end
                 callback = read.callback
                 self.sim.at(finish, callback, finish)
-        # More work may be issuable immediately after this command slot.
         if self.reads or self.writes:
             self._schedule_wake(self.channel.ca.free_at)
 
 
-class MainMemory(MemoryBackend):
-    """The DDR5 backing store: address-interleaved independent channels."""
+class ReferenceMainMemory(MemoryBackend):
+    """Frozen pre-seam DDR5 backing store (bit-identity A/B only)."""
 
-    backend_name = "ddr5"
+    backend_name = "ddr5_reference"
 
     def __init__(
         self,
@@ -197,24 +181,21 @@ class MainMemory(MemoryBackend):
             for i in range(geometry.channels)
         ]
         self._schedulers = [
-            _ChannelScheduler(sim, channel, meter) for channel in self.channels
+            _RefChannelScheduler(sim, channel, meter)
+            for channel in self.channels
         ]
 
     def read(self, block_addr: int,
              callback: Optional[Callable[[int], None]],
              order: Optional[int] = None) -> None:
-        """Fetch one 64 B block; ``callback(finish_time)`` fires on data.
-
-        ``order`` carries the originating demand's age for age-aware
-        scheduling; it defaults to the arrival time.
-        """
+        """Fetch one 64 B block; ``callback(finish_time)`` fires on data."""
         decoded = self.mapper.decode(block_addr)
         scheduler = self._schedulers[decoded.channel]
         scheduler.add_read(
-            _PendingRead(block_addr, decoded.bank, decoded.row,
-                         self.sim.now,
-                         self.sim.now if order is None else order,
-                         callback)
+            _RefPendingRead(block_addr, decoded.bank, decoded.row,
+                            self.sim.now,
+                            self.sim.now if order is None else order,
+                            callback)
         )
         self.reads_issued += 1
         self._sample_occupancy()
@@ -224,7 +205,8 @@ class MainMemory(MemoryBackend):
         decoded = self.mapper.decode(block_addr)
         scheduler = self._schedulers[decoded.channel]
         scheduler.add_write(
-            _PendingWrite(block_addr, decoded.bank, decoded.row, self.sim.now))
+            _RefPendingWrite(block_addr, decoded.bank, decoded.row,
+                             self.sim.now))
         self.writes_issued += 1
         self._sample_occupancy()
 

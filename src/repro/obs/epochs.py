@@ -27,10 +27,12 @@ DELTA_COLUMNS = (
     "demands", "hits", "misses", "reads", "writes",
     "useful_bytes", "total_bytes", "bytes_read", "bytes_written",
     "writebacks", "ras_corrected", "ras_uncorrectable",
+    "backend_coalesced", "backend_wq_stalls", "backend_wear",
 )
 
 #: Instantaneous occupancies sampled at each epoch boundary.
-LEVEL_COLUMNS = ("read_q", "write_q", "mshr", "flush_occupancy")
+LEVEL_COLUMNS = ("read_q", "write_q", "mshr", "flush_occupancy",
+                 "backend_mshr", "backend_wq")
 
 #: Every column of the series, in export order.
 COLUMNS = ("t_us",) + DELTA_COLUMNS + LEVEL_COLUMNS
@@ -72,17 +74,24 @@ class EpochRecorder:
         if ras is not None:
             snap["ras_corrected"] = ras.counters.corrected
             snap["ras_uncorrectable"] = ras.counters.uncorrectable
+        backend = controller.main_memory.counters
+        snap["backend_coalesced"] = backend["mshr_coalesced"]
+        snap["backend_wq_stalls"] = backend["wq_stalls"]
+        snap["backend_wear"] = backend["wear_writes"]
         return snap
 
     def _levels(self) -> Dict[str, int]:
         """Current values of every occupancy (level) column."""
         controller = self.controller
         flush = getattr(controller, "flush", None)
+        backend = controller.main_memory
         return {
             "read_q": sum(len(s.read_q) for s in controller.schedulers),
             "write_q": sum(len(s.write_q) for s in controller.schedulers),
             "mshr": len(controller._mshrs),
             "flush_occupancy": len(flush) if flush is not None else 0,
+            "backend_mshr": backend.mshr_occupancy(),
+            "backend_wq": backend.write_queue_len(),
         }
 
     # ------------------------------------------------------------------

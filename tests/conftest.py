@@ -6,7 +6,7 @@ import pytest
 
 from repro.cache.request import DemandRequest, Op
 from repro.config.system import MIB, SystemConfig
-from repro.memory.main_memory import MainMemory
+from repro.memory.backend import build_backend
 from repro.sim.kernel import Simulator, ns
 
 
@@ -32,9 +32,7 @@ class System:
     def __init__(self, design_cls, config: SystemConfig) -> None:
         self.sim = Simulator()
         self.config = config
-        self.main_memory = MainMemory(
-            self.sim, config.mm_timing, config.mm_geometry()
-        )
+        self.main_memory = build_backend(self.sim, config)
         self.cache = design_cls(self.sim, config, self.main_memory)
         self.completed = []
 

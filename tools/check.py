@@ -17,10 +17,14 @@ Checks:
   subset of the gate so the check never silently vanishes;
 * **links** — relative-link check over the markdown docs
   (:mod:`check_links`);
-* **docstrings** — 100% public docstring coverage on ``repro.obs`` and
-  ``repro.ras`` (:mod:`check_docstrings`; SIM009 enforces the same
-  invariant inside the lint engine — this keeps the standalone gate
-  CI has always run).
+* **docstrings** — 100% public docstring coverage on ``repro.obs``,
+  ``repro.ras``, and ``repro.memory`` (:mod:`check_docstrings`; SIM009
+  enforces the same invariant inside the lint engine — this keeps the
+  standalone gate CI has always run);
+* **metrics** — every counter name declared in
+  ``repro.memory.backend.BACKEND_COUNTERS`` has a documentation row in
+  ``docs/metrics.md``, so new backend counters cannot ship
+  undocumented.
 
 Exit code is non-zero if any selected check fails.
 """
@@ -52,7 +56,7 @@ TYPED_PACKAGES = ("src/repro/sim", "src/repro/dram", "src/repro/cache",
 #: Markdown roots for the link check.
 LINK_PATHS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs")
 #: Packages gated at 100% public docstring coverage.
-DOCSTRING_PATHS = ("src/repro/obs", "src/repro/ras")
+DOCSTRING_PATHS = ("src/repro/obs", "src/repro/ras", "src/repro/memory")
 
 
 def run_lint() -> Tuple[bool, str]:
@@ -126,12 +130,30 @@ def run_docstrings() -> Tuple[bool, str]:
     return ok, f"100% coverage on {', '.join(DOCSTRING_PATHS)}"
 
 
+def run_metrics() -> Tuple[bool, str]:
+    """Every declared backend counter has a ``docs/metrics.md`` row.
+
+    The declaration registry is ``BACKEND_COUNTERS`` (the same
+    ALL-CAPS ``_COUNTERS`` constant SIM006 accepts as a counter-name
+    declaration), so adding a counter without documenting it fails CI.
+    """
+    from repro.memory.backend import BACKEND_COUNTERS
+
+    text = (ROOT / "docs" / "metrics.md").read_text(encoding="utf-8")
+    missing = [name for name in BACKEND_COUNTERS if f"`{name}`" not in text]
+    for name in missing:
+        print(f"docs/metrics.md: no row documenting backend counter "
+              f"`{name}` (declared in repro.memory.backend)")
+    return not missing, (f"{len(BACKEND_COUNTERS)} backend counters "
+                         "documented in docs/metrics.md")
+
+
 def main(argv: List[str] | None = None) -> int:
     """Run the selected checks and report a one-line verdict each."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--only", default=None,
                         help="comma-separated subset: lint,typing,links,"
-                             "docstrings")
+                             "docstrings,metrics")
     parser.add_argument("--require-mypy", action="store_true",
                         help="fail the typing check if mypy is missing "
                              "instead of falling back to the stdlib gate")
@@ -142,6 +164,7 @@ def main(argv: List[str] | None = None) -> int:
         ("typing", lambda: run_typing(require_mypy=args.require_mypy)),
         ("links", run_links),
         ("docstrings", run_docstrings),
+        ("metrics", run_metrics),
     ]
     if args.only:
         wanted = {name.strip() for name in args.only.split(",")}
