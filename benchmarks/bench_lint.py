@@ -1,0 +1,144 @@
+"""Lint-engine benchmark: cold vs warm analysis-cache wall clock.
+
+Runs the full rule set over ``src/repro`` twice against a fresh
+analysis cache — once cold (every file parsed, facts extracted, rules
+run) and once warm (every per-file result replayed from the
+content-hash cache; only cross-file rules run) — verifies the two
+reports are identical, and records wall clock, the speedup, and the
+rule-by-rule finding counts to ``BENCH_lint.json``.
+
+Run standalone (the CI perf-smoke job does)::
+
+    python benchmarks/bench_lint.py --min-speedup 3.0
+    python benchmarks/bench_lint.py --paths src/repro --out BENCH_lint.json
+
+or through pytest (``pytest benchmarks/bench_lint.py -s``), which uses
+a temporary cache directory and asserts the speedup bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import AnalysisCache, Analyzer, Baseline
+from repro.analysis.rules import BASELINE_RULES
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO / "tools" / "lint_baseline.json"
+
+
+def _timed_run(paths, baseline, cache):
+    start = time.perf_counter()
+    report = Analyzer(baseline=baseline, cache=cache).run(paths)
+    return report, time.perf_counter() - start
+
+
+def bench_lint(
+    paths=None,
+    cache_dir=None,
+    out="BENCH_lint.json",
+) -> dict:
+    """Measure cold-vs-warm lint wall clock; write ``out``."""
+    paths = paths or [str(REPO / "src" / "repro")]
+    baseline = Baseline.load(DEFAULT_BASELINE,
+                             allowed_rules=set(BASELINE_RULES))
+    owned = cache_dir is None
+    cache_root = Path(cache_dir) if cache_dir else \
+        Path(tempfile.mkdtemp(prefix="bench-lint-cache-"))
+    try:
+        cache = AnalysisCache(cache_root)
+        cold_report, cold_s = _timed_run(paths, baseline, cache)
+        warm_report, warm_s = _timed_run(paths, baseline, cache)
+        identical = (
+            [f.render() for f in cold_report.findings]
+            == [f.render() for f in warm_report.findings]
+            and [f.render() for f in cold_report.suppressed]
+            == [f.render() for f in warm_report.suppressed])
+        shown = []
+        for p in paths:
+            try:
+                shown.append(str(Path(p).resolve().relative_to(REPO)))
+            except ValueError:
+                shown.append(str(p))
+        record = {
+            "bench": "lint",
+            "paths": shown,
+            "files": cold_report.files,
+            "cold": {
+                "wall_s": round(cold_s, 3),
+                "cache_hits": cold_report.cache_hits,
+                "cache_misses": cold_report.cache_misses,
+            },
+            "warm": {
+                "wall_s": round(warm_s, 3),
+                "cache_hits": warm_report.cache_hits,
+                "cache_misses": warm_report.cache_misses,
+            },
+            "speedup": round(cold_s / warm_s, 2) if warm_s else None,
+            "identical": identical,
+            "findings": len(cold_report.findings),
+            "suppressed": len(cold_report.suppressed),
+            "baselined": len(cold_report.baselined),
+            "rule_counts": cold_report.rule_counts(),
+        }
+    finally:
+        if owned:
+            shutil.rmtree(cache_root, ignore_errors=True)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=1, sort_keys=True)
+    return record
+
+
+def test_bench_lint(tmp_path):
+    """Pytest entry: full tree, asserts warm >= 3x faster than cold."""
+    out = tmp_path / "BENCH_lint.json"
+    record = bench_lint(cache_dir=str(tmp_path / "cache"), out=str(out))
+    print()
+    print(json.dumps(record, indent=1, sort_keys=True))
+    assert record["identical"]
+    assert record["findings"] == 0
+    assert record["cold"]["cache_hits"] == 0
+    assert record["warm"]["cache_misses"] == 0
+    assert record["warm"]["cache_hits"] == record["files"]
+    assert record["speedup"] >= 3.0
+    assert json.loads(out.read_text()) == record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paths", default=None,
+                        help="comma-separated trees (default src/repro)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="reuse this cache directory instead of a "
+                             "throwaway one")
+    parser.add_argument("--out", default="BENCH_lint.json")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit nonzero if warm/cold speedup is below "
+                             "this bound")
+    args = parser.parse_args(argv)
+    record = bench_lint(
+        paths=args.paths.split(",") if args.paths else None,
+        cache_dir=args.cache_dir,
+        out=args.out,
+    )
+    print(json.dumps(record, indent=1, sort_keys=True))
+    if not record["identical"]:
+        print("FAIL: warm report differs from cold report", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and \
+            (record["speedup"] or 0) < args.min_speedup:
+        print(f"FAIL: warm-cache speedup {record['speedup']} below bound "
+              f"{args.min_speedup}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,20 +6,29 @@ on coding invariants that ordinary linters do not know about: no
 wall-clock reads or unseeded randomness inside simulated components, no
 float equality on timestamps, every counter read somewhere registered,
 no ordering-sensitive iteration feeding result serialization. This
-package is an AST-based lint engine with a registry of those rules
-(``SIM001``–``SIM012``), per-file and cross-file passes, inline
-``# tdram: noqa[RULE] -- reason`` suppressions, and a committed
-baseline file for grandfathered findings.
+package is a multi-pass semantic analysis engine: one AST pass per file
+extracts JSON-serializable facts (:mod:`repro.analysis.dataflow`), a
+call-graph builder infers sim-reachable functions from the kernel
+dispatch entry points (:mod:`repro.analysis.callgraph`), and a registry
+of rules (``SIM001``–``SIM018``) consumes the facts — including the
+cache-key soundness prover (SIM014), the time-unit dimension checker
+(SIM015), orphan-counter detection (SIM016), and plugin contract
+conformance (SIM017/SIM018). Inline ``# tdram: noqa[RULE] -- reason``
+suppressions, a committed baseline file for grandfathered findings
+(with stale-entry detection), a content-hash-keyed analysis cache for
+fast warm runs, and a SARIF 2.1.0 emitter round out the engine.
 
 Run it as ``python -m repro.analysis src/repro`` or
-``tdram-repro lint``; the rule catalogue lives in
-``docs/static-analysis.md``.
+``tdram-repro lint``; ``--explain SIM014`` prints one rule's catalogue
+entry, and the full catalogue lives in ``docs/static-analysis.md``.
 """
 
 from repro.analysis.engine import (
+    AnalysisCache,
     Analyzer,
     Baseline,
     Finding,
+    ProjectContext,
     Report,
     Rule,
     SourceFile,
@@ -28,9 +37,11 @@ from repro.analysis.engine import (
 from repro.analysis.rules import BASELINE_RULES, SIM_RULES
 
 __all__ = [
+    "AnalysisCache",
     "Analyzer",
     "Baseline",
     "Finding",
+    "ProjectContext",
     "Report",
     "Rule",
     "SourceFile",

@@ -1,0 +1,205 @@
+"""Cache-key soundness prover (SIM014).
+
+The campaign result cache assumes a :class:`RunResult` is a pure
+function of ``(design, workload, config, demands_per_core, seed)`` —
+the ingredients :func:`repro.experiments.campaign.cache_key` hashes.
+That assumption breaks in exactly one quiet way: a ``SystemConfig``
+field that *influences* a simulation without *participating* in the
+key, so two sweeps differing only in that field share a key and one
+of them is served the other's cached results forever.
+
+SIM014 proves the absence of that failure class over the analyzed
+tree:
+
+* the **keyed set** is derived from the recorded shape of the
+  ``cache_key`` payload dict — a full ``_canonical(config)`` keys
+  every ``SystemConfig`` field (minus any declared ``skip=``
+  ``OBS_ONLY`` set), while an explicit ``{"field": config.field}``
+  literal keys exactly the fields it names;
+* every ``SystemConfig`` field **read on a sim-reachable path** (the
+  call graph's verdict; every read, when the tree has no dispatch
+  entry points) must be keyed or listed in the reason-carrying
+  ``OBS_ONLY`` declaration (:data:`repro.config.system.OBS_ONLY`);
+* ``CampaignTask`` fields must either be passed to ``cache_key`` at
+  the key call site or be ``OBS_ONLY``-declared — ``trace_dir`` (a
+  per-host scratch path) is the canonical declared example;
+* ``OBS_ONLY`` itself is validated: every entry must name a real
+  ``SystemConfig``/``CampaignTask`` field and carry a non-empty
+  reason.
+
+The rule is inert on trees that define neither a ``SystemConfig``
+dataclass nor a ``cache_key`` function (ordinary rule-test fixtures).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.dataflow import FileFacts
+from repro.analysis.engine import Finding, ProjectContext, Rule, register
+
+
+def _find_dataclass(project: ProjectContext, name: str) \
+        -> Optional[Tuple[str, Dict[str, object]]]:
+    """Locate a dataclass record by terminal class name."""
+    for display, facts in sorted(project.facts.items()):
+        records = facts.get("dataclasses", [])
+        assert isinstance(records, list)
+        for record in records:
+            if str(record["name"]).rsplit(".", 1)[-1] == name:
+                return display, record
+    return None
+
+
+def _obs_only(project: ProjectContext) \
+        -> Optional[Tuple[str, Dict[str, object], Dict[str, str]]]:
+    """The ``OBS_ONLY`` declaration: (display, record, {field: reason})."""
+    for display, facts in sorted(project.facts.items()):
+        constants = facts.get("constants", {})
+        assert isinstance(constants, dict)
+        record = constants.get("OBS_ONLY")
+        if isinstance(record, dict) and record.get("kind") == "dict":
+            reasons = record.get("str_values", {})
+            assert isinstance(reasons, dict)
+            keys = record.get("keys", [])
+            assert isinstance(keys, list)
+            table = {str(k): str(reasons.get(k, "")) for k in keys}
+            return display, record, table
+    return None
+
+
+def _payload(project: ProjectContext) \
+        -> Optional[Tuple[str, Dict[str, object]]]:
+    for display, facts in sorted(project.facts.items()):
+        record = facts.get("cachekey")
+        if isinstance(record, dict):
+            return display, record
+    return None
+
+
+@register
+class CacheKeySoundness(Rule):
+    """SIM014 — every sim-read SystemConfig field is keyed or OBS_ONLY."""
+
+    id = "SIM014"
+    title = "cache-key soundness (no unkeyed config reads)"
+    cross_file = True
+    rationale = (
+        "The campaign cache serves a stored RunResult whenever the "
+        "SHA-256 key matches; a SystemConfig field that steers the "
+        "simulation but is missing from the key makes two different "
+        "experiments share a key, so one silently reads the other's "
+        "results. Every SystemConfig field read on a sim-reachable "
+        "path (per the call graph) must participate in the cache_key "
+        "payload or appear in the reason-carrying OBS_ONLY declaration "
+        "in repro.config.system; CampaignTask fields must be passed to "
+        "cache_key or declared OBS_ONLY (trace_dir is the canonical "
+        "example: a per-host scratch path that never changes results).")
+
+    # ------------------------------------------------------------------
+    def _keyed_config_fields(self, payload: Dict[str, object],
+                             fields: Set[str],
+                             obs_only: Set[str]) -> Optional[Set[str]]:
+        """SystemConfig fields the key covers, or None for 'all/unknown'."""
+        entries = payload.get("payload", {})
+        assert isinstance(entries, dict)
+        descriptor = entries.get("config")
+        if not isinstance(descriptor, dict):
+            return set()  # no config ingredient at all: nothing is keyed
+        kind = descriptor.get("kind")
+        if kind == "fields":
+            named = descriptor.get("fields", [])
+            assert isinstance(named, list)
+            return {str(n) for n in named}
+        if kind == "call":
+            # _canonical(config) walks every dataclass field; an
+            # explicit skip=OBS_ONLY keyword subtracts the declared set.
+            if descriptor.get("skips_obs_only"):
+                return fields - obs_only
+            if descriptor.get("skips"):
+                # Skips something we cannot resolve — treat every field
+                # as at-risk so the skip must be OBS_ONLY-declared.
+                return set()
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        config = _find_dataclass(project, "SystemConfig")
+        payload = _payload(project)
+        if config is None or payload is None:
+            return  # not a tree this invariant applies to
+        config_display, config_record = config
+        config_fields = {str(f[0]) for f in config_record["fields"]}
+        task = _find_dataclass(project, "CampaignTask")
+        task_fields = {str(f[0]) for f in task[1]["fields"]} if task else set()
+
+        declaration = _obs_only(project)
+        obs_only: Dict[str, str] = {}
+        if declaration is not None:
+            obs_display, obs_record, obs_only = declaration
+            for name, reason in sorted(obs_only.items()):
+                if name not in config_fields | task_fields:
+                    yield self.at(
+                        obs_display, obs_record["line"], obs_record["col"],
+                        f"OBS_ONLY declares '{name}' which is neither a "
+                        "SystemConfig nor a CampaignTask field — stale "
+                        "declarations hide future unkeyed knobs")
+                elif not reason.strip():
+                    yield self.at(
+                        obs_display, obs_record["line"], obs_record["col"],
+                        f"OBS_ONLY entry '{name}' has no reason; every "
+                        "exclusion from the cache key must explain why "
+                        "results cannot depend on it")
+
+        payload_display, payload_record = payload
+        keyed = self._keyed_config_fields(payload_record, config_fields,
+                                          set(obs_only))
+        graph = project.graph
+        if keyed is not None:
+            for display, facts in sorted(project.facts.items()):
+                reads = facts.get("config_reads", [])
+                assert isinstance(reads, list)
+                seen: Set[Tuple[str, int]] = set()
+                for read in reads:
+                    name = str(read["field"])
+                    if name not in config_fields:
+                        continue  # method/property or another object
+                    if name in keyed or name in obs_only:
+                        continue
+                    if graph.active and not graph.is_reachable(
+                            facts.modkey, str(read["fn"])):
+                        continue  # host-side read; the key need not cover it
+                    marker = (name, int(read["line"]))
+                    if marker in seen:
+                        continue
+                    seen.add(marker)
+                    yield self.at(
+                        display, read["line"], read["col"],
+                        f"SystemConfig.{name} is read on a sim-reachable "
+                        "path but is neither cache-keyed nor OBS_ONLY-"
+                        "declared — cached results would go stale when "
+                        "it changes")
+
+        if task is not None:
+            task_display, task_record = task
+            passed: Set[str] = set()
+            key_calls = False
+            for facts in project.facts.values():
+                calls = facts.get("task_key_calls", [])
+                assert isinstance(calls, list)
+                for call in calls:
+                    if str(call["cls"]).rsplit(".", 1)[-1] == "CampaignTask":
+                        key_calls = True
+                        args = call["args"]
+                        assert isinstance(args, list)
+                        passed.update(str(a) for a in args)
+            if key_calls:
+                for name, line, col, _annotation in task_record["fields"]:
+                    if str(name) in passed or str(name) in obs_only:
+                        continue
+                    yield self.at(
+                        task_display, line, col,
+                        f"CampaignTask.{name} is not passed to cache_key "
+                        "and not OBS_ONLY-declared — two tasks differing "
+                        "only in it would share a cache entry")

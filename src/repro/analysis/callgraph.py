@@ -1,0 +1,350 @@
+"""Sim-reachability call graph built from per-file facts.
+
+The graph answers one question for the semantic rules: *can this
+function run during event dispatch?* Roots are the kernel dispatch
+entry points —
+
+* ``Simulator.run`` (the event loop itself, plus overrides), and
+* every callable handed to ``sim.at(...)``/``sim.schedule(...)``
+  anywhere in the tree (the facts record each scheduled callback with
+  its enclosing class so ``self._on_wake`` resolves precisely).
+
+From those roots the builder closes over the edges the dataflow pass
+recorded: direct calls, ``self.method()`` dispatch, ``self.attr.m()``
+through the class attribute-type table (populated from constructor
+assignments and annotated parameters), locally-typed receivers,
+dispatch-table construction (``DESIGNS[design](...)`` instantiates
+every class in the table), callback references passed as arguments or
+assigned to fields, and nested function definitions. Method dispatch
+includes subclass overrides — reaching ``Organization.set_index``
+reaches every registered organization's override.
+
+Unresolved dynamic attribute calls are deliberately *not* edges: the
+graph under-approximates, and the rules that consume it (SIM001,
+SIM011, SIM014) union it with the historical module-prefix scoping so
+precision loss can only ever widen enforcement, never silently narrow
+it. When a tree has no dispatch entry points at all (rule-test
+fixtures, host-only utilities) the graph reports ``active = False``
+and the rules fall back to module scoping alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.dataflow import FileFacts
+
+#: A function node is addressed as ``modkey::qualname``.
+FnKey = str
+
+
+class CallGraph:
+    """Reachability closure over the per-file facts of one tree."""
+
+    def __init__(self, facts_map: Dict[str, FileFacts]) -> None:
+        self.facts_map = facts_map
+        # (modkey, qual) -> function record
+        self._functions: Dict[Tuple[str, str], Dict[str, object]] = {}
+        # (modkey, cls) -> class record
+        self._classes: Dict[Tuple[str, str], Dict[str, object]] = {}
+        self._fn_short: Dict[str, List[Tuple[str, str]]] = {}
+        self._cls_short: Dict[str, List[Tuple[str, str]]] = {}
+        self._constants: Dict[Tuple[str, str], Dict[str, object]] = {}
+        self._subclasses: Dict[Tuple[str, str], List[Tuple[str, str]]] = {}
+        self._index()
+        self.roots: Set[FnKey] = set()
+        self._seed_roots()
+        self.active = bool(self.roots)
+        self.reachable: Set[FnKey] = set()
+        if self.active:
+            self._close()
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def _index(self) -> None:
+        for facts in self.facts_map.values():
+            modkey = facts.modkey
+            functions = facts.get("functions", {})
+            assert isinstance(functions, dict)
+            for qual, record in functions.items():
+                self._functions[(modkey, qual)] = record
+                self._fn_short.setdefault(
+                    qual.rsplit(".", 1)[-1], []).append((modkey, qual))
+            classes = facts.get("classes", {})
+            assert isinstance(classes, dict)
+            for cls, record in classes.items():
+                self._classes[(modkey, cls)] = record
+                self._cls_short.setdefault(
+                    cls.rsplit(".", 1)[-1], []).append((modkey, cls))
+            constants = facts.get("constants", {})
+            assert isinstance(constants, dict)
+            for name, record in constants.items():
+                self._constants[(modkey, name)] = record
+        for (modkey, cls), record in self._classes.items():
+            bases = record.get("bases", [])
+            assert isinstance(bases, list)
+            for base in bases:
+                for parent in self._resolve_classes(str(base), modkey):
+                    self._subclasses.setdefault(parent, []).append(
+                        (modkey, cls))
+
+    def _resolve_classes(self, name: str,
+                         modkey: str) -> List[Tuple[str, str]]:
+        """Resolve a (possibly dotted) class name to index entries.
+
+        Tries the local module, then the exact dotted location, then
+        an unambiguous-or-all short-name match (re-exports through
+        package ``__init__`` make the recorded canonical path differ
+        from the defining module, so the short name is authoritative).
+        """
+        short = name.rsplit(".", 1)[-1]
+        if (modkey, name) in self._classes:
+            return [(modkey, name)]
+        if "." in name:
+            mod, _, cls = name.rpartition(".")
+            if (mod, cls) in self._classes:
+                return [(mod, cls)]
+        return self._cls_short.get(short, [])
+
+    def _resolve_functions(self, name: str,
+                           modkey: str) -> List[Tuple[str, str]]:
+        if (modkey, name) in self._functions:
+            return [(modkey, name)]
+        if "." in name:
+            mod, _, fn = name.rpartition(".")
+            if (mod, fn) in self._functions:
+                return [(mod, fn)]
+            # repro.cache.build -> class method? leave to caller.
+            short = name.rsplit(".", 1)[-1]
+            matches = self._fn_short.get(short, [])
+            # Only trust a short-name match for module-level functions
+            # (methods dispatch through _dispatch with a class).
+            return [m for m in matches if "." not in m[1]]
+        return []
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _descendants(self, key: Tuple[str, str]) -> List[Tuple[str, str]]:
+        out: List[Tuple[str, str]] = []
+        stack = list(self._subclasses.get(key, []))
+        seen: Set[Tuple[str, str]] = set()
+        while stack:
+            child = stack.pop()
+            if child in seen:
+                continue
+            seen.add(child)
+            out.append(child)
+            stack.extend(self._subclasses.get(child, []))
+        return out
+
+    def _nearest_method(self, key: Tuple[str, str],
+                        method: str) -> Optional[Tuple[str, str]]:
+        """The defining (modkey, cls) for ``method`` on ``key``, walking
+        up the base-class chain."""
+        seen: Set[Tuple[str, str]] = set()
+        stack = [key]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            record = self._classes.get(current)
+            if record is None:
+                continue
+            methods = record.get("methods", {})
+            assert isinstance(methods, dict)
+            if method in methods:
+                return current
+            bases = record.get("bases", [])
+            assert isinstance(bases, list)
+            for base in bases:
+                stack.extend(self._resolve_classes(str(base), current[0]))
+        return None
+
+    def _dispatch(self, key: Tuple[str, str], method: str) -> List[FnKey]:
+        """Function keys a ``obj.method()`` call may run, for ``obj`` of
+        the given class: the nearest definition plus every subclass
+        override."""
+        out: List[FnKey] = []
+        owner = self._nearest_method(key, method)
+        if owner is not None:
+            out.append(f"{owner[0]}::{owner[1]}.{method}")
+        for child_mod, child_cls in self._descendants(key):
+            record = self._classes[(child_mod, child_cls)]
+            methods = record.get("methods", {})
+            assert isinstance(methods, dict)
+            if method in methods:
+                out.append(f"{child_mod}::{child_cls}.{method}")
+        return out
+
+    def _instantiate(self, key: Tuple[str, str]) -> List[FnKey]:
+        out: List[FnKey] = []
+        for ctor in ("__init__", "__post_init__"):
+            owner = self._nearest_method(key, ctor)
+            if owner is not None:
+                out.append(f"{owner[0]}::{owner[1]}.{ctor}")
+        return out
+
+    def _attr_type(self, modkey: str, cls: str,
+                   attr: str) -> List[Tuple[str, str]]:
+        owner: Optional[Tuple[str, str]] = (modkey, cls)
+        while owner is not None:
+            record = self._classes.get(owner)
+            if record is None:
+                return []
+            attr_types = record.get("attr_types", {})
+            assert isinstance(attr_types, dict)
+            if attr in attr_types:
+                return self._resolve_classes(str(attr_types[attr]), owner[0])
+            bases = record.get("bases", [])
+            assert isinstance(bases, list)
+            parents = [p for b in bases
+                       for p in self._resolve_classes(str(b), owner[0])]
+            owner = parents[0] if parents else None
+        return []
+
+    # ------------------------------------------------------------------
+    # Roots
+    # ------------------------------------------------------------------
+    def _seed_roots(self) -> None:
+        for (modkey, cls), record in self._classes.items():
+            if cls.rsplit(".", 1)[-1] == "Simulator":
+                methods = record.get("methods", {})
+                assert isinstance(methods, dict)
+                if "run" in methods:
+                    self.roots.update(self._dispatch((modkey, cls), "run"))
+        for facts in self.facts_map.values():
+            modkey = facts.modkey
+            callbacks = facts.get("sched_callbacks", [])
+            assert isinstance(callbacks, list)
+            for entry in callbacks:
+                self.roots.update(self._resolve_ref(
+                    entry["ref"], modkey, str(entry.get("cls") or "")))
+
+    def _resolve_ref(self, ref: object, modkey: str,
+                     cls: str) -> List[FnKey]:
+        """Resolve a recorded callback reference to function keys."""
+        assert isinstance(ref, list)
+        kind = ref[0]
+        if kind == "name":
+            name = str(ref[1])
+            out = [f"{m}::{q}" for m, q in
+                   self._resolve_functions(name, modkey)]
+            for class_key in self._resolve_classes(name, modkey):
+                out.extend(self._instantiate(class_key))
+                out.extend(self._dispatch(class_key, "__call__"))
+            return out
+        if kind == "self" and cls:
+            return self._dispatch((modkey, cls), str(ref[1]))
+        if kind == "var":
+            out = []
+            for class_key in self._resolve_classes(str(ref[1]), modkey):
+                out.extend(self._dispatch(class_key, str(ref[2])))
+            return out
+        if kind == "local":
+            return [f"{modkey}::{ref[1]}"]
+        return []
+
+    # ------------------------------------------------------------------
+    # Closure
+    # ------------------------------------------------------------------
+    def _close(self) -> None:
+        pending: List[FnKey] = sorted(self.roots)
+        while pending:
+            key = pending.pop()
+            if key in self.reachable:
+                continue
+            modkey, _, qual = key.partition("::")
+            record = self._functions.get((modkey, qual))
+            if record is None:
+                continue
+            self.reachable.add(key)
+            pending.extend(self._edges(modkey, qual, record))
+
+    def _edges(self, modkey: str, qual: str,
+               record: Dict[str, object]) -> List[FnKey]:
+        out: List[FnKey] = []
+        cls = str(record.get("cls") or "")
+        calls = record.get("calls", [])
+        assert isinstance(calls, list)
+        for name in calls:
+            out.extend(f"{m}::{q}" for m, q in
+                       self._resolve_functions(str(name), modkey))
+            for class_key in self._resolve_classes(str(name), modkey):
+                out.extend(self._instantiate(class_key))
+        methods = record.get("methods", [])
+        assert isinstance(methods, list)
+        for descriptor in methods:
+            kind = descriptor[0]
+            if kind == "self" and cls:
+                out.extend(self._dispatch((modkey, cls), str(descriptor[1])))
+            elif kind == "selfattr" and cls:
+                for class_key in self._attr_type(modkey, cls,
+                                                 str(descriptor[1])):
+                    out.extend(self._dispatch(class_key, str(descriptor[2])))
+            elif kind == "var":
+                for class_key in self._resolve_classes(str(descriptor[1]),
+                                                       modkey):
+                    out.extend(self._dispatch(class_key, str(descriptor[2])))
+            # "dyn" receivers are intentionally not edges (see module
+            # docstring) — the rules union the graph with module scoping.
+        tables = record.get("tables", [])
+        assert isinstance(tables, list)
+        for table in tables:
+            out.extend(self._table_edges(str(table), modkey))
+        refs = record.get("refs", [])
+        assert isinstance(refs, list)
+        for ref in refs:
+            out.extend(self._resolve_ref(ref, modkey, cls))
+        return out
+
+    def _table_edges(self, table: str, modkey: str) -> List[FnKey]:
+        """``TABLE[key](...)`` instantiates every value in the table."""
+        candidates: List[Dict[str, object]] = []
+        if (modkey, table) in self._constants:
+            candidates.append(self._constants[(modkey, table)])
+        elif "." in table:
+            mod, _, name = table.rpartition(".")
+            for (const_mod, const_name), record in self._constants.items():
+                if const_name == name and (const_mod == mod
+                                           or mod.endswith(const_mod)
+                                           or const_mod.endswith(mod)):
+                    candidates.append(record)
+        out: List[FnKey] = []
+        for record in candidates:
+            if record.get("kind") != "dict":
+                continue
+            value_names = record.get("value_names", [])
+            assert isinstance(value_names, list)
+            for name in value_names:
+                for class_key in self._resolve_classes(str(name), modkey):
+                    out.extend(self._instantiate(class_key))
+                    out.extend(self._dispatch(class_key, "__call__"))
+                out.extend(f"{m}::{q}" for m, q in
+                           self._resolve_functions(str(name), modkey))
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_reachable(self, modkey: str, qual: str) -> bool:
+        """Whether a function can run during event dispatch.
+
+        Inactive graphs (no dispatch entry points in the tree) answer
+        False for everything — callers fall back to module scoping.
+        """
+        return f"{modkey}::{qual}" in self.reachable
+
+    def stats(self) -> Dict[str, int]:
+        """Graph-size summary for benchmarks and ``--json`` output."""
+        return {"functions": len(self._functions),
+                "classes": len(self._classes),
+                "roots": len(self.roots),
+                "reachable": len(self.reachable)}
+
+
+def build_graph(facts_map: Dict[str, FileFacts]) -> CallGraph:
+    """Build the sim-reachability graph for a set of file facts."""
+    return CallGraph(facts_map)

@@ -1,0 +1,213 @@
+"""Plugin-seam contract conformance (SIM017, SIM018).
+
+The repo has two pluggable seams, and both fail open without these
+checks:
+
+* **memory backends** (:class:`repro.memory.backend.MemoryBackend`)
+  report counters through ``snapshot()``/``wear_summary()`` dicts and
+  ``.add()`` calls; any counter name not registered in
+  ``BACKEND_COUNTERS`` silently escapes the metrics documentation
+  gate, the campaign schemas, and the figure pipelines — SIM017
+  requires every backend counter literal to be ⊆ the registry;
+* **cache organizations and replacement policies**
+  (:class:`repro.cache.organization.Organization` /
+  ``ReplacementPolicy``) define their hook contracts by raising
+  ``NotImplementedError`` (or ``@abstractmethod``); a subclass that
+  forgets a required hook only explodes at simulation time, deep in a
+  campaign — SIM018 requires every concrete subclass of a contract
+  base to implement (or inherit an implementation of) every required
+  hook.
+
+Both rules work purely from the per-file facts: class records carry
+bases, methods, and the ``required`` list (methods whose body is a
+top-level ``raise NotImplementedError`` or that carry
+``@abstractmethod``), so cached warm runs never re-parse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding, ProjectContext, Rule, register
+
+ClassKey = Tuple[str, str]  # (modkey, class qualname)
+
+
+class ClassIndex:
+    """Cross-file class-hierarchy resolver over extracted facts."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.records: Dict[ClassKey, Dict[str, object]] = {}
+        self.display: Dict[ClassKey, str] = {}
+        self._short: Dict[str, List[ClassKey]] = {}
+        for display, facts in sorted(project.facts.items()):
+            classes = facts.get("classes", {})
+            assert isinstance(classes, dict)
+            for cls, record in classes.items():
+                key = (facts.modkey, cls)
+                self.records[key] = record
+                self.display[key] = display
+                self._short.setdefault(cls.rsplit(".", 1)[-1],
+                                       []).append(key)
+
+    def resolve(self, name: str, modkey: str) -> List[ClassKey]:
+        """Base-name resolution: local module, exact dotted path, then
+        short name (import re-exports make short names authoritative)."""
+        if (modkey, name) in self.records:
+            return [(modkey, name)]
+        if "." in name:
+            mod, _, cls = name.rpartition(".")
+            if (mod, cls) in self.records:
+                return [(mod, cls)]
+        return self._short.get(name.rsplit(".", 1)[-1], [])
+
+    def ancestors(self, key: ClassKey) -> Set[ClassKey]:
+        """Every transitive base class resolvable inside the tree."""
+        out: Set[ClassKey] = set()
+        stack = [key]
+        while stack:
+            current = stack.pop()
+            record = self.records.get(current)
+            if record is None:
+                continue
+            bases = record.get("bases", [])
+            assert isinstance(bases, list)
+            for base in bases:
+                for parent in self.resolve(str(base), current[0]):
+                    if parent not in out:
+                        out.add(parent)
+                        stack.append(parent)
+        return out
+
+    def nearest_method(self, key: ClassKey,
+                       method: str) -> Optional[ClassKey]:
+        """The (modkey, cls) whose definition of ``method`` the class
+        would inherit, walking the base chain breadth-first."""
+        seen: Set[ClassKey] = set()
+        queue = [key]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            record = self.records.get(current)
+            if record is None:
+                continue
+            methods = record.get("methods", {})
+            assert isinstance(methods, dict)
+            if method in methods:
+                return current
+            bases = record.get("bases", [])
+            assert isinstance(bases, list)
+            for base in bases:
+                queue.extend(self.resolve(str(base), current[0]))
+        return None
+
+    def required(self, key: ClassKey) -> List[str]:
+        record = self.records.get(key, {})
+        required = record.get("required", [])
+        assert isinstance(required, list)
+        return [str(m) for m in required]
+
+    def line(self, key: ClassKey) -> int:
+        record = self.records.get(key, {})
+        return int(record.get("line", 1))  # type: ignore[arg-type]
+
+
+@register
+class BackendCountersRegistered(Rule):
+    """SIM017 — backend counters must be registered in BACKEND_COUNTERS."""
+
+    id = "SIM017"
+    title = "backend counters registered"
+    cross_file = True
+    rationale = (
+        "Every MemoryBackend reports its counters through snapshot() "
+        "dicts and .add() calls; BACKEND_COUNTERS is the registry that "
+        "the docs/metrics.md gate, campaign schemas, and figure "
+        "pipelines are generated from. A backend counter absent from "
+        "the registry ships undocumented and invisible — so every "
+        "counter literal inside a MemoryBackend subclass must be a "
+        "member of BACKEND_COUNTERS.")
+
+    def _registry(self, project: ProjectContext) -> Optional[Set[str]]:
+        for facts in project.facts.values():
+            constants = facts.get("constants", {})
+            assert isinstance(constants, dict)
+            record = constants.get("BACKEND_COUNTERS")
+            if isinstance(record, dict) and record.get("kind") == "seq":
+                values = record.get("values", [])
+                assert isinstance(values, list)
+                return {str(v) for v in values}
+        return None
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        registered = self._registry(project)
+        if registered is None:
+            return  # no registry in this tree: the seam is absent
+        index = ClassIndex(project)
+        for key, record in sorted(index.records.items()):
+            if key[1].rsplit(".", 1)[-1] == "MemoryBackend":
+                continue  # the ABC itself defines no counters
+            ancestor_names = {a[1].rsplit(".", 1)[-1]
+                              for a in index.ancestors(key)}
+            if "MemoryBackend" not in ancestor_names:
+                continue
+            literals = record.get("counter_literals", [])
+            assert isinstance(literals, list)
+            seen: Set[str] = set()
+            for name, line, col in literals:
+                if str(name) in registered or str(name) in seen:
+                    continue
+                seen.add(str(name))
+                yield self.at(
+                    index.display[key], line, col,
+                    f"backend counter '{name}' in {key[1]} is not "
+                    "registered in BACKEND_COUNTERS — it would ship "
+                    "undocumented and invisible to the metrics gate")
+
+
+@register
+class HookContractImplemented(Rule):
+    """SIM018 — plugin subclasses implement the full hook contract."""
+
+    id = "SIM018"
+    title = "plugin hook contracts implemented"
+    cross_file = True
+    rationale = (
+        "Organization, ReplacementPolicy, MemoryBackend and the "
+        "controller seam declare their contracts by raising "
+        "NotImplementedError (or @abstractmethod) in the base hook; a "
+        "registered subclass that forgets one hook passes import and "
+        "construction and only explodes mid-campaign, deep inside "
+        "event dispatch. Every concrete subclass of a contract base "
+        "must define — or inherit a real implementation of — every "
+        "required hook; intentionally-abstract intermediates re-declare "
+        "the hook abstract instead.")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        index = ClassIndex(project)
+        contract_bases = [key for key in index.records
+                          if index.required(key)]
+        if not contract_bases:
+            return
+        for key in sorted(index.records):
+            own_required = set(index.required(key))
+            ancestors = index.ancestors(key)
+            for base in contract_bases:
+                if base not in ancestors:
+                    continue
+                for method in index.required(base):
+                    if method in own_required:
+                        continue  # re-declared abstract: not concrete
+                    owner = index.nearest_method(key, method)
+                    # Missing entirely, or inherited straight from a
+                    # definition that is itself abstract.
+                    if owner is not None and \
+                            method not in index.required(owner):
+                        continue
+                    yield self.at(
+                        index.display[key], index.line(key), 0,
+                        f"{key[1]} does not implement {base[1]}.{method}() "
+                        "— the hook contract requires it (it would raise "
+                        "NotImplementedError mid-simulation)")

@@ -1,0 +1,691 @@
+"""Per-file fact extraction: the dataflow pass behind the cross-file rules.
+
+One AST walk per source file produces a JSON-serialisable
+:class:`FileFacts` record — every piece of information the cross-file
+rules (SIM001/SIM006/SIM007/SIM011/SIM013–SIM018) and the call-graph
+builder (:mod:`repro.analysis.callgraph`) need:
+
+* function definitions with their outgoing edges (direct calls,
+  method calls with a light local type inference, callback references,
+  dispatch-table calls);
+* class definitions with bases, methods, inferred attribute types,
+  contract markers (``NotImplementedError`` bodies / ``abstractmethod``
+  decorators), and the literal counter names each class touches;
+* counter ``.add()``/``.declare()`` sites, literal counter reads, and
+  ALL-CAPS ``*_CATEGORIES``/``*_COUNTERS`` declaring constants;
+* attribute-access names, ``SystemConfig``-style field reads with
+  their enclosing function, dataclass field tables;
+* module-level literal constants (dispatch tables, ``OBS_ONLY``,
+  ``BACKEND_COUNTERS``), the ``cache_key`` payload shape, and
+  time-unit diagnostics (:mod:`repro.analysis.units`).
+
+Because facts are plain dicts keyed by content hash, the analysis
+cache (:class:`repro.analysis.engine.AnalysisCache`) can replay a warm
+run without re-parsing a single file: the cross-file rules consume
+facts, never trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Bump when the fact schema or any fact-driven rule's inputs change —
+#: invalidates every cached analysis entry.
+FACTS_VERSION = 1
+
+#: Attribute names that hold a CounterSet by repo convention; literal
+#: subscripts on these receivers are treated as counter reads.
+COUNTER_RECEIVERS = {"outcomes", "events", "counters", "counts", "ops"}
+#: Receivers additionally accepted as counter *increment* sites for the
+#: orphan-counter rule (``prefetcher.stats.add("useful")``).
+COUNTER_ADD_RECEIVERS = COUNTER_RECEIVERS | {"stats"}
+#: Module-level ALL-CAPS constants with these suffixes declare counter
+#: names produced dynamically (e.g. f-string categories).
+DECLARING_SUFFIXES = ("_CATEGORIES", "_COUNTERS")
+#: Local names conventionally bound to the (frozen) system config.
+CONFIG_RECEIVERS = {"config", "cfg", "conf", "system_config", "sysconfig"}
+
+#: Host wall-clock reads banned on sim-reachable paths (SIM001).
+WALLCLOCK_CALLS = (
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+)
+
+#: Scheduler entry points whose arguments run once per simulated event.
+SCHEDULER_METHODS = {"at", "schedule"}
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers (also used by repro.analysis.rules)
+# ---------------------------------------------------------------------------
+def import_map(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to canonical dotted origins.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import
+    perf_counter_ns as pc`` maps ``pc -> time.perf_counter_ns``.
+    """
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                table[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    return table
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """Dotted name of a Name/Attribute chain, or None if dynamic."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def canonical(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Dotted name with the leading alias resolved through imports."""
+    name = dotted(node)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    origin = imports.get(head, head)
+    return f"{origin}.{rest}" if rest else origin
+
+
+def terminal(node: ast.AST) -> Optional[str]:
+    """Last component of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _str_constants(node: ast.AST) -> List[str]:
+    """Every string literal inside an expression, in source order."""
+    return [n.value for n in ast.walk(node)
+            if isinstance(n, ast.Constant) and isinstance(n.value, str)]
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    return any(
+        (terminal(d) or "") == "dataclass" or
+        (isinstance(d, ast.Call) and (terminal(d.func) or "") == "dataclass")
+        for d in node.decorator_list)
+
+
+def _is_abstract_method(node: ast.AST) -> bool:
+    """Whether a method is a contract hook subclasses must implement."""
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    for deco in node.decorator_list:
+        if (terminal(deco) or "") in ("abstractmethod", "abstractproperty"):
+            return True
+    for stmt in node.body:
+        if isinstance(stmt, ast.Raise) and stmt.exc is not None:
+            exc = stmt.exc
+            name = terminal(exc.func) if isinstance(exc, ast.Call) \
+                else terminal(exc)
+            if name == "NotImplementedError":
+                return True
+    return False
+
+
+class FileFacts:
+    """The extracted facts of one parsed source file (dict-backed)."""
+
+    def __init__(self, data: Dict[str, object]) -> None:
+        self.data = data
+
+    def __getitem__(self, key: str) -> object:
+        return self.data[key]
+
+    def get(self, key: str, default: object = None) -> object:
+        return self.data.get(key, default)
+
+    @property
+    def modkey(self) -> str:
+        """Module identity used by the call graph (dotted repro path,
+        or the bare basename for files outside the package)."""
+        return str(self.data["modkey"])
+
+    def to_json(self) -> Dict[str, object]:
+        return self.data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "FileFacts":
+        return cls(data)
+
+
+class _Extractor:
+    """Single-pass walker building a :class:`FileFacts` record."""
+
+    def __init__(self, tree: ast.Module, modkey: str) -> None:
+        self.tree = tree
+        self.modkey = modkey
+        self.imports = import_map(tree)
+        self.functions: Dict[str, Dict[str, object]] = {}
+        self.classes: Dict[str, Dict[str, object]] = {}
+        self.constants: Dict[str, Dict[str, object]] = {}
+        self.dataclasses: List[Dict[str, object]] = []
+        self.counter_adds: List[List[object]] = []
+        self.counter_reads: List[List[object]] = []
+        self.declared_counters: List[str] = []
+        self.attr_reads: List[str] = []
+        self.config_reads: List[Dict[str, object]] = []
+        self.wallclock: List[Dict[str, object]] = []
+        self.sched_closures: List[Dict[str, object]] = []
+        self.sched_callbacks: List[Dict[str, object]] = []
+        self.cachekey: Optional[Dict[str, object]] = None
+        self.task_key_calls: List[Dict[str, object]] = []
+        # walk state
+        self._class_stack: List[Tuple[str, bool]] = []  # (name, counterish)
+        self._fn_stack: List[str] = []
+        self._env_stack: List[Dict[str, str]] = [{}]
+
+    # ------------------------------------------------------------------
+    def run(self) -> FileFacts:
+        self._function_record("<module>", 1)
+        for stmt in self.tree.body:
+            self._module_constant(stmt)
+        self._visit_body(self.tree.body)
+        return FileFacts({
+            "version": FACTS_VERSION,
+            "modkey": self.modkey,
+            "functions": self.functions,
+            "classes": self.classes,
+            "constants": self.constants,
+            "dataclasses": self.dataclasses,
+            "counter_adds": self.counter_adds,
+            "counter_reads": self.counter_reads,
+            "declared_counters": sorted(set(self.declared_counters)),
+            "attr_reads": sorted(set(self.attr_reads)),
+            "config_reads": self.config_reads,
+            "wallclock": self.wallclock,
+            "sched_closures": self.sched_closures,
+            "sched_callbacks": self.sched_callbacks,
+            "cachekey": self.cachekey,
+            "task_key_calls": self.task_key_calls,
+        })
+
+    # ------------------------------------------------------------------
+    @property
+    def _fn(self) -> str:
+        return self._fn_stack[-1] if self._fn_stack else "<module>"
+
+    @property
+    def _cls(self) -> Optional[str]:
+        return self._class_stack[-1][0] if self._class_stack else None
+
+    def _counterish_class(self) -> bool:
+        return any(flag for _name, flag in self._class_stack)
+
+    def _function_record(self, qual: str, line: int) -> Dict[str, object]:
+        record = self.functions.get(qual)
+        if record is None:
+            record = {"line": line, "cls": self._cls, "calls": [],
+                      "methods": [], "tables": [], "refs": []}
+            self.functions[qual] = record
+        return record
+
+    # ------------------------------------------------------------------
+    def _module_constant(self, stmt: ast.stmt) -> None:
+        """Record module-level literal dict / string-sequence constants."""
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            return
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names:
+            return
+        record: Optional[Dict[str, object]] = None
+        if isinstance(value, ast.Dict):
+            keys = [k.value for k in value.keys
+                    if isinstance(k, ast.Constant) and isinstance(k.value, str)]
+            str_values: Dict[str, str] = {}
+            value_names: List[str] = []
+            for key_node, val_node in zip(value.keys, value.values):
+                if not (isinstance(key_node, ast.Constant)
+                        and isinstance(key_node.value, str)):
+                    continue
+                if isinstance(val_node, ast.Constant) and \
+                        isinstance(val_node.value, str):
+                    str_values[key_node.value] = val_node.value
+                else:
+                    name = canonical(val_node, self.imports)
+                    if name is not None:
+                        value_names.append(name)
+            record = {"kind": "dict", "keys": keys, "str_values": str_values,
+                      "value_names": value_names, "line": stmt.lineno,
+                      "col": stmt.col_offset}
+        elif isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            elts = [e.value for e in value.elts
+                    if isinstance(e, ast.Constant) and isinstance(e.value, str)]
+            if elts and len(elts) == len(value.elts):
+                record = {"kind": "seq", "values": elts, "line": stmt.lineno,
+                          "col": stmt.col_offset}
+        if record is not None:
+            for name in names:
+                self.constants[name] = record
+
+    # ------------------------------------------------------------------
+    def _visit_body(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit(stmt)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._enter_function(node)
+            return
+        if isinstance(node, ast.ClassDef):
+            self._enter_class(node)
+            return
+        if isinstance(node, ast.Call):
+            self._record_call(node)
+        elif isinstance(node, ast.Attribute):
+            self._record_attribute(node)
+        elif isinstance(node, ast.Subscript):
+            self._record_subscript(node)
+        elif isinstance(node, ast.Assign):
+            self._record_assign(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    # ------------------------------------------------------------------
+    def _enter_class(self, node: ast.ClassDef) -> None:
+        base_names = [b for b in (canonical(b, self.imports)
+                                  for b in node.bases) if b]
+        counterish = any("Counter" in n
+                         for n in [node.name] + [b.rsplit(".", 1)[-1]
+                                                 for b in base_names])
+        qual_prefix = f"{self._cls}." if self._cls else ""
+        cls_name = f"{qual_prefix}{node.name}"
+        methods: Dict[str, int] = {}
+        required: List[str] = []
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods[stmt.name] = stmt.lineno
+                if _is_abstract_method(stmt):
+                    required.append(stmt.name)
+        attr_types: Dict[str, str] = {}
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                annotated = canonical(stmt.annotation, self.imports)
+                if annotated is not None:
+                    attr_types[stmt.target.id] = annotated
+        self.classes[cls_name] = {
+            "line": node.lineno, "bases": base_names, "methods": methods,
+            "required": required, "attr_types": attr_types,
+            "counter_literals": [], "dataclass": _is_dataclass_decorated(node),
+        }
+        if _is_dataclass_decorated(node):
+            fields: List[List[object]] = []
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and \
+                        isinstance(stmt.target, ast.Name) and \
+                        not stmt.target.id.startswith("_"):
+                    annotation = ast.unparse(stmt.annotation)
+                    if "ClassVar" in annotation:
+                        continue
+                    fields.append([stmt.target.id, stmt.lineno,
+                                   stmt.col_offset, annotation])
+            self.dataclasses.append({"name": cls_name, "line": node.lineno,
+                                     "fields": fields})
+        self._class_stack.append((cls_name, counterish))
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._enter_function(stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                self._enter_class(stmt)
+            else:
+                self._visit(stmt)
+        self._class_stack.pop()
+
+    def _enter_function(self, node: ast.FunctionDef) -> None:
+        qual = f"{self._cls}.{node.name}" if self._cls else \
+            (f"{self._fn}.{node.name}" if self._fn != "<module>" else node.name)
+        record = self._function_record(qual, node.lineno)
+        # A nested def is a latent callback of its parent.
+        if self._fn_stack:
+            parent = self._function_record(self._fn, node.lineno)
+            refs = parent["refs"]
+            assert isinstance(refs, list)
+            refs.append(["local", qual])
+        env = self._local_env(node)
+        self._fn_stack.append(qual)
+        self._env_stack.append(env)
+        if node.name == "cache_key" and self._cls is None:
+            self._record_cachekey(node)
+        snapshot_method = node.name in ("snapshot", "wear_summary")
+        for stmt in node.body:
+            self._visit(stmt)
+        if snapshot_method and self._cls is not None:
+            self._record_snapshot_keys(node)
+        self._env_stack.pop()
+        self._fn_stack.pop()
+        # visit decorators/defaults in the enclosing scope
+        for deco in node.decorator_list:
+            self._visit(deco)
+        for default in list(node.args.defaults) + \
+                [d for d in node.args.kw_defaults if d is not None]:
+            self._visit(default)
+
+    def _local_env(self, node: ast.FunctionDef) -> Dict[str, str]:
+        """Local name -> constructed/annotated type (light inference)."""
+        env: Dict[str, str] = {}
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is not None:
+                annotated = canonical(arg.annotation, self.imports)
+                if annotated is not None:
+                    env[arg.arg] = annotated
+        for stmt in ast.walk(node):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and \
+                    stmt is not node:
+                continue
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                    isinstance(stmt.targets[0], ast.Name) and \
+                    isinstance(stmt.value, ast.Call):
+                ctor = canonical(stmt.value.func, self.imports)
+                if ctor is not None:
+                    env[stmt.targets[0].id] = ctor
+            elif isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                annotated = canonical(stmt.annotation, self.imports)
+                if annotated is not None:
+                    env[stmt.target.id] = annotated
+        return env
+
+    # ------------------------------------------------------------------
+    def _receiver_type(self, node: ast.AST) -> Optional[str]:
+        """Resolve a method-call receiver to a type descriptor."""
+        if isinstance(node, ast.Name):
+            return self._env_stack[-1].get(node.id)
+        return None
+
+    def _record_call(self, node: ast.Call) -> None:
+        record = self._function_record(self._fn, node.lineno)
+        calls = record["calls"]
+        methods = record["methods"]
+        tables = record["tables"]
+        refs = record["refs"]
+        assert isinstance(calls, list) and isinstance(methods, list)
+        assert isinstance(tables, list) and isinstance(refs, list)
+        func = node.func
+        if isinstance(func, ast.Name):
+            origin = self.imports.get(func.id, func.id)
+            calls.append(origin)
+        elif isinstance(func, ast.Attribute):
+            name = canonical(func, self.imports)
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                methods.append(["self", func.attr])
+            elif isinstance(receiver, ast.Attribute) and \
+                    isinstance(receiver.value, ast.Name) and \
+                    receiver.value.id == "self":
+                methods.append(["selfattr", receiver.attr, func.attr])
+            else:
+                typed = self._receiver_type(receiver)
+                if typed is not None:
+                    methods.append(["var", typed, func.attr])
+                elif name is not None and "." in name:
+                    # fully dotted (module.func) — try direct resolution,
+                    # fall back to dynamic dispatch on the terminal name
+                    calls.append(name)
+                    methods.append(["dyn", func.attr])
+                else:
+                    methods.append(["dyn", func.attr])
+        elif isinstance(func, ast.Subscript):
+            table = canonical(func.value, self.imports)
+            if table is not None:
+                tables.append(table)
+        # callback references passed as arguments
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            self._record_ref(refs, arg)
+        # wall-clock / scheduler-closure / counter facts
+        self._record_wallclock(node)
+        self._record_scheduler(node)
+        self._record_counter_call(node)
+        self._record_task_key_call(node)
+
+    def _record_ref(self, refs: List[object], node: ast.AST) -> None:
+        if isinstance(node, ast.Name):
+            origin = self.imports.get(node.id, node.id)
+            refs.append(["name", origin])
+        elif isinstance(node, ast.Attribute):
+            receiver = node.value
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                refs.append(["self", node.attr])
+            else:
+                typed = self._receiver_type(receiver)
+                if typed is not None:
+                    refs.append(["var", typed, node.attr])
+
+    def _record_assign(self, node: ast.Assign) -> None:
+        # ALL-CAPS *_CATEGORIES/*_COUNTERS assignments declare counter
+        # names at any nesting level (SIM006 parity).
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id.isupper() and \
+                    target.id.endswith(DECLARING_SUFFIXES):
+                self.declared_counters.extend(_str_constants(node.value))
+        # self.attr = Ctor(...) refines the class attribute-type table;
+        # assignment of a bare function reference is a callback edge.
+        record = self._function_record(self._fn, node.lineno)
+        refs = record["refs"]
+        assert isinstance(refs, list)
+        if isinstance(node.value, (ast.Name, ast.Attribute)):
+            self._record_ref(refs, node.value)
+        if self._cls is None:
+            return
+        ctor: Optional[str] = None
+        if isinstance(node.value, ast.Call):
+            ctor = canonical(node.value.func, self.imports)
+        elif isinstance(node.value, ast.Name):
+            # ``self.organization = organization`` — carry the
+            # parameter's annotated type onto the attribute.
+            ctor = self._env_stack[-1].get(node.value.id)
+        if ctor is None:
+            return
+        cls = self.classes.get(self._cls)
+        if cls is None:
+            return
+        attr_types = cls["attr_types"]
+        assert isinstance(attr_types, dict)
+        for target in node.targets:
+            if isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id == "self":
+                attr_types.setdefault(target.attr, ctor)
+
+    # ------------------------------------------------------------------
+    def _record_wallclock(self, node: ast.Call) -> None:
+        name = canonical(node.func, self.imports)
+        if name in WALLCLOCK_CALLS:
+            self.wallclock.append({"fn": self._fn, "name": name,
+                                   "line": node.lineno,
+                                   "col": node.col_offset})
+
+    def _record_scheduler(self, node: ast.Call) -> None:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        if node.func.attr not in SCHEDULER_METHODS:
+            return
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            kind = None
+            if isinstance(arg, ast.Lambda):
+                kind = "lambda"
+            elif isinstance(arg, ast.Call) and \
+                    (terminal(arg.func) or "") == "partial":
+                kind = "partial"
+            if kind is not None:
+                self.sched_closures.append({
+                    "fn": self._fn, "kind": kind,
+                    "line": arg.lineno, "col": arg.col_offset})
+                continue
+            # A plain callable argument is a dispatch root: the kernel
+            # will invoke it once the event fires (callgraph seeds).
+            ref: List[object] = []
+            self._record_ref(ref, arg)
+            if ref:
+                self.sched_callbacks.append({
+                    "fn": self._fn, "cls": self._cls or "",
+                    "ref": ref[0], "line": arg.lineno})
+
+    def _record_counter_call(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr == "add" and node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                receiver = terminal(func.value)
+                self.declared_counters.append(arg.value)
+                self.counter_adds.append([arg.value, arg.lineno,
+                                          arg.col_offset, receiver or "",
+                                          self._cls or ""])
+        elif func.attr == "declare":
+            for arg in node.args:
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    self.declared_counters.append(arg.value)
+        elif func.attr == "total":
+            receiver = terminal(func.value)
+            counterish = receiver in COUNTER_RECEIVERS or (
+                receiver == "self" and self._counterish_class())
+            if counterish:
+                for arg in node.args:
+                    if isinstance(arg, (ast.Tuple, ast.List)):
+                        for elt in arg.elts:
+                            if isinstance(elt, ast.Constant) and \
+                                    isinstance(elt.value, str):
+                                self.counter_reads.append(
+                                    [elt.value, elt.lineno, elt.col_offset])
+        if func.attr == "add" and self._cls is not None and node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                cls = self.classes.get(self._cls)
+                if cls is not None:
+                    literals = cls["counter_literals"]
+                    assert isinstance(literals, list)
+                    literals.append([arg.value, arg.lineno, arg.col_offset])
+
+    def _record_subscript(self, node: ast.Subscript) -> None:
+        receiver = terminal(node.value)
+        counterish = receiver in COUNTER_RECEIVERS or (
+            receiver == "self" and self._counterish_class())
+        if counterish and isinstance(node.slice, ast.Constant) and \
+                isinstance(node.slice.value, str):
+            self.counter_reads.append(
+                [node.slice.value, node.slice.lineno, node.slice.col_offset])
+
+    def _record_attribute(self, node: ast.Attribute) -> None:
+        self.attr_reads.append(node.attr)
+        receiver = node.value
+        receiver_name = terminal(receiver)
+        config_like = receiver_name in CONFIG_RECEIVERS
+        if not config_like and isinstance(receiver, ast.Name):
+            typed = self._env_stack[-1].get(receiver.id, "")
+            config_like = typed.rsplit(".", 1)[-1] == "SystemConfig"
+        if not config_like and receiver_name == "self" and \
+                self._cls == "SystemConfig":
+            config_like = True
+        if config_like and isinstance(node.ctx, ast.Load):
+            self.config_reads.append({
+                "fn": self._fn, "cls": self._cls, "field": node.attr,
+                "line": node.lineno, "col": node.col_offset})
+
+    # ------------------------------------------------------------------
+    def _record_snapshot_keys(self, node: ast.FunctionDef) -> None:
+        """Dict-literal keys returned by snapshot()/wear_summary()."""
+        cls = self.classes.get(self._cls or "")
+        if cls is None:
+            return
+        literals = cls["counter_literals"]
+        assert isinstance(literals, list)
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Return) and \
+                    isinstance(stmt.value, ast.Dict):
+                for key in stmt.value.keys:
+                    if isinstance(key, ast.Constant) and \
+                            isinstance(key.value, str):
+                        literals.append([key.value, key.lineno,
+                                         key.col_offset])
+
+    def _record_cachekey(self, node: ast.FunctionDef) -> None:
+        """Shape of the campaign cache-key payload dict (SIM014)."""
+        payload_node: Optional[ast.Dict] = None
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Dict):
+                keys = [k.value for k in stmt.keys
+                        if isinstance(k, ast.Constant)
+                        and isinstance(k.value, str)]
+                if "config" in keys:
+                    payload_node = stmt
+                    break
+        if payload_node is None:
+            return
+        payload: Dict[str, object] = {}
+        for key_node, val_node in zip(payload_node.keys, payload_node.values):
+            if not (isinstance(key_node, ast.Constant)
+                    and isinstance(key_node.value, str)):
+                continue
+            payload[key_node.value] = self._payload_descriptor(val_node)
+        self.cachekey = {"fn": self._fn, "line": node.lineno,
+                         "payload": payload}
+
+    def _payload_descriptor(self, node: ast.AST) -> Dict[str, object]:
+        if isinstance(node, ast.Call):
+            fn = terminal(node.func) or ""
+            arg = terminal(node.args[0]) if node.args else None
+            skips = [kw.arg for kw in node.keywords if kw.arg]
+            skips_obs_only = any(
+                "OBS_ONLY" in _str_names(kw.value) for kw in node.keywords
+                if kw.arg == "skip")
+            return {"kind": "call", "callee": fn, "arg": arg,
+                    "skips": skips, "skips_obs_only": skips_obs_only}
+        if isinstance(node, ast.Dict):
+            fields = sorted({n.attr for n in ast.walk(node)
+                             if isinstance(n, ast.Attribute)})
+            return {"kind": "fields", "fields": fields}
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            return {"kind": "name", "name": dotted(node)}
+        return {"kind": "expr"}
+
+    def _record_task_key_call(self, node: ast.Call) -> None:
+        """``cache_key(self.design, ...)`` — which task fields are keyed."""
+        if (terminal(node.func) or "") != "cache_key" or self._cls is None:
+            return
+        attrs: List[str] = []
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Attribute) and \
+                    isinstance(arg.value, ast.Name) and \
+                    arg.value.id == "self":
+                attrs.append(arg.attr)
+        self.task_key_calls.append({"cls": self._cls, "args": attrs,
+                                    "line": node.lineno})
+
+
+def _str_names(node: ast.AST) -> List[str]:
+    """Every Name identifier inside an expression."""
+    return [n.id for n in ast.walk(node) if isinstance(n, ast.Name)]
+
+
+def extract(tree: ast.Module, modkey: str) -> FileFacts:
+    """Run the dataflow pass over one parsed module."""
+    from repro.analysis.units import unit_diagnostics
+
+    facts = _Extractor(tree, modkey).run()
+    facts.data["unit_diagnostics"] = unit_diagnostics(tree)
+    return facts

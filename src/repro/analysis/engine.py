@@ -1,10 +1,23 @@
-"""Lint engine: rule registry, passes, suppressions, baseline.
+"""Lint engine: rule registry, passes, caching, suppressions, baseline.
 
 The engine is deliberately simulator-agnostic — it knows how to parse
 sources, run per-file and cross-file rules, honour inline
 ``# tdram: noqa[RULE] -- reason`` suppressions, and subtract a
 committed baseline. Everything TDRAM-specific lives in
-:mod:`repro.analysis.rules`.
+:mod:`repro.analysis.rules` and its sibling rule modules.
+
+The run pipeline has three passes:
+
+1. **per-file** — parse, extract :class:`~repro.analysis.dataflow.FileFacts`
+   (the dataflow pass), run the per-file rules. The whole per-file
+   result is memoised in a content-hash-keyed :class:`AnalysisCache`
+   when one is attached, so warm repo-wide runs skip parsing entirely;
+2. **project** — build the sim-reachability call graph
+   (:mod:`repro.analysis.callgraph`) over the collected facts and run
+   the cross-file rules against the resulting :class:`ProjectContext`;
+3. **fold** — apply inline suppressions, subtract the committed
+   baseline, and flag baseline entries that no longer fire (LNT002)
+   so the baseline can only shrink.
 
 Suppression grammar (one per physical line, applies to findings on
 that line)::
@@ -24,12 +37,15 @@ Baseline format (JSON, committed at ``tools/lint_baseline.json``)::
 
 Only cross-file rules listed in :data:`repro.analysis.rules.BASELINE_RULES`
 may be baselined — per-file invariants must be fixed or suppressed
-inline where the exemption is visible in review.
+inline where the exemption is visible in review. A baseline entry
+whose finding no longer fires is itself a finding (``LNT002``), so
+fixed debt cannot linger as a latent mute.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import json
 import os
@@ -37,8 +53,10 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence, Set,
+                    Tuple)
 
+from repro.analysis.dataflow import FACTS_VERSION, FileFacts, extract
 from repro.errors import ConfigError
 
 #: ``# tdram: noqa[SIM001,SIM002] -- reason`` (rules and reason optional
@@ -52,6 +70,7 @@ _NOQA = re.compile(
 #: Meta-rule ids emitted by the engine itself (not suppressible).
 META_BAD_NOQA = "LNT000"
 META_SYNTAX = "LNT001"
+META_STALE_BASELINE = "LNT002"
 
 
 @dataclass(frozen=True)
@@ -144,6 +163,11 @@ class SourceFile:
             dotted = dotted[:-1]
         return ".".join(dotted)
 
+    @property
+    def modkey(self) -> str:
+        """Module identity used by facts and the call graph."""
+        return self.module or self.basename
+
     # ------------------------------------------------------------------
     def suppressed(self, finding: Finding) -> bool:
         """Whether an inline noqa on the finding's line covers its rule."""
@@ -158,15 +182,44 @@ class SourceFile:
                    for p in prefixes)
 
 
+class ProjectContext:
+    """What cross-file rules see: facts per file, lazily a call graph.
+
+    ``facts`` maps display path -> :class:`FileFacts`; ``root`` is the
+    repository root when the analyzed tree contains ``src/repro`` (used
+    by rules that consult committed docs, e.g. SIM016's metrics-doc
+    escape hatch); ``graph`` builds the sim-reachability call graph on
+    first access so per-file-only runs never pay for it.
+    """
+
+    def __init__(self, facts: Dict[str, FileFacts],
+                 root: Optional[Path] = None) -> None:
+        self.facts = facts
+        self.root = root
+        self._graph: Optional[object] = None
+
+    @property
+    def graph(self) -> "CallGraph":  # noqa: F821 - forward ref for mypy
+        from repro.analysis.callgraph import CallGraph, build_graph
+
+        if self._graph is None:
+            self._graph = build_graph(self.facts)
+        assert isinstance(self._graph, CallGraph)
+        return self._graph
+
+
 class Rule:
     """Base class for lint rules; subclasses register via :func:`register`.
 
     Per-file rules override :meth:`check`; cross-file rules set
     ``cross_file = True`` and override :meth:`check_project` (they see
-    every parsed source at once). ``exempt`` carves out module subtrees
-    or basenames the invariant does not apply to — exemptions that are
-    *policy* (CLI modules may print) belong there, exemptions that are
-    *judgement calls* belong in inline noqa comments at the use site.
+    the whole-project :class:`ProjectContext` of extracted facts).
+    ``exempt`` carves out module subtrees or basenames a per-file
+    invariant does not apply to — exemptions that are *policy* (CLI
+    modules may print) belong there, exemptions that are *judgement
+    calls* belong in inline noqa comments at the use site. Cross-file
+    rules scope themselves inside :meth:`check_project` using the
+    facts' module keys.
     """
 
     id: str = ""
@@ -182,7 +235,7 @@ class Rule:
         """Yield findings for one file (per-file rules)."""
         return iter(())
 
-    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
         """Yield findings needing whole-project context (cross-file rules)."""
         return iter(())
 
@@ -192,6 +245,11 @@ class Rule:
         return Finding(rule=self.id, path=source.display,
                        line=getattr(node, "lineno", 1),
                        col=getattr(node, "col_offset", 0), message=message)
+
+    def at(self, path: str, line: object, col: object, message: str) -> Finding:
+        """Construct a finding from fact-recorded coordinates."""
+        return Finding(rule=self.id, path=path, line=int(line),  # type: ignore[call-overload]
+                       col=int(col), message=message)  # type: ignore[call-overload]
 
 
 _REGISTRY: Dict[str, type] = {}
@@ -209,7 +267,11 @@ def register(cls: type) -> type:
 
 def all_rules() -> List[Rule]:
     """Instantiate every registered rule, ordered by id."""
-    import repro.analysis.rules  # noqa: F401 - populates the registry
+    # Importing the rule modules populates the registry.
+    import repro.analysis.cachekey  # noqa: F401
+    import repro.analysis.contracts  # noqa: F401
+    import repro.analysis.rules  # noqa: F401
+    import repro.analysis.units  # noqa: F401
 
     return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
 
@@ -279,10 +341,19 @@ class Report:
     suppressed: List[Finding] = field(default_factory=list)
     baselined: List[Finding] = field(default_factory=list)
     files: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.findings
+
+    def rule_counts(self) -> Dict[str, int]:
+        """Finding counts per rule id (incl. suppressed/baselined)."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings + self.suppressed + self.baselined:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
 
     def render(self) -> str:
         """Human output: one line per finding plus a summary."""
@@ -292,6 +363,8 @@ class Report:
             extras.append(f"{len(self.suppressed)} suppressed")
         if self.baselined:
             extras.append(f"{len(self.baselined)} baselined")
+        if self.cache_hits:
+            extras.append(f"{self.cache_hits} cached")
         suffix = f" ({', '.join(extras)})" if extras else ""
         verdict = "OK" if self.ok else f"{len(self.findings)} findings"
         lines.append(f"checked {self.files} files: {verdict}{suffix}")
@@ -304,7 +377,105 @@ class Report:
             "findings": [f.to_json() for f in self.findings],
             "suppressed": [f.to_json() for f in self.suppressed],
             "baselined": [f.to_json() for f in self.baselined],
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
         }, indent=1, sort_keys=True)
+
+
+class AnalysisCache:
+    """Content-hash-keyed per-file analysis results on disk.
+
+    The key is a SHA-256 over the engine/fact schema versions, the
+    display path, and the file *content* — any edit, rename, or schema
+    bump misses. A hit replays the stored per-file findings,
+    suppressions, noqa diagnostics, and extracted facts without
+    parsing the file, which is what makes warm repo-wide runs fast:
+    cross-file rules run from facts alone.
+    """
+
+    #: Bump when per-file rule behaviour changes without a fact-schema
+    #: change (message wording, new per-file rule).
+    VERSION = 1
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, display: str, text: str) -> Path:
+        digest = hashlib.sha256(
+            f"{self.VERSION}:{FACTS_VERSION}:{display}\0{text}"
+            .encode("utf-8")).hexdigest()
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, display: str, text: str) -> Optional[Dict[str, object]]:
+        """Stored payload for this exact content, or None."""
+        path = self._entry_path(display, text)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, display: str, text: str,
+            payload: Dict[str, object]) -> None:
+        """Atomically persist a per-file analysis payload."""
+        path = self._entry_path(display, text)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+
+@dataclass
+class _FileEntry:
+    """Per-file analysis outcome — fresh or replayed from the cache."""
+
+    display: str
+    path: Path
+    suppressions: List[Suppression] = field(default_factory=list)
+    bad_noqa: List[int] = field(default_factory=list)
+    syntax_error: Optional[str] = None
+    findings: List[Finding] = field(default_factory=list)
+    facts: Optional[FileFacts] = None
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "syntax_error": self.syntax_error,
+            "bad_noqa": list(self.bad_noqa),
+            "suppressions": [[s.line, list(s.rules), s.reason]
+                             for s in self.suppressions],
+            "findings": [[f.rule, f.line, f.col, f.message]
+                         for f in self.findings],
+            "facts": self.facts.to_json() if self.facts is not None else None,
+        }
+
+    @classmethod
+    def from_payload(cls, display: str, path: Path,
+                     payload: Dict[str, object]) -> "_FileEntry":
+        suppressions = [
+            Suppression(line=int(line), rules=tuple(rules), reason=reason)
+            for line, rules, reason in payload.get("suppressions", [])]  # type: ignore[union-attr]
+        findings = [
+            Finding(rule=rule, path=display, line=int(line), col=int(col),
+                    message=message)
+            for rule, line, col, message in payload.get("findings", [])]  # type: ignore[union-attr]
+        facts_data = payload.get("facts")
+        facts = FileFacts.from_json(facts_data) \
+            if isinstance(facts_data, dict) else None
+        error = payload.get("syntax_error")
+        return cls(display=display, path=path, suppressions=suppressions,
+                   bad_noqa=[int(n) for n in payload.get("bad_noqa", [])],  # type: ignore[union-attr]
+                   syntax_error=str(error) if error is not None else None,
+                   findings=findings, facts=facts)
 
 
 def _iter_sources(paths: Iterable[str]) -> Iterator[Path]:
@@ -326,12 +497,27 @@ def _display_path(path: Path) -> str:
     return Path(chosen).as_posix()
 
 
+def _detect_root(entries: Sequence[_FileEntry]) -> Optional[Path]:
+    """Repository root, when the analyzed tree includes ``src/repro``."""
+    for entry in entries:
+        parts = entry.path.resolve().parts
+        for i in range(len(parts) - 1):
+            if parts[i] == "src" and parts[i + 1] == "repro":
+                return Path(*parts[:i]) if i else Path(parts[0])
+    return None
+
+
 class Analyzer:
     """Runs a rule set over a file tree and folds in the baseline."""
 
     def __init__(self, rules: Optional[Sequence[Rule]] = None,
                  baseline: Optional[Baseline] = None,
-                 select: Optional[Iterable[str]] = None) -> None:
+                 select: Optional[Iterable[str]] = None,
+                 cache: Optional[AnalysisCache] = None) -> None:
+        # The cache may only be *written* by a run of the complete
+        # registered rule set — a filtered run would persist partial
+        # per-file results that a later full run would replay as truth.
+        self._cache_complete = rules is None and select is None
         self.rules = list(rules) if rules is not None else all_rules()
         if select is not None:
             wanted = set(select)
@@ -340,6 +526,7 @@ class Analyzer:
                 raise ConfigError(f"unknown rule ids: {sorted(unknown)}")
             self.rules = [r for r in self.rules if r.id in wanted]
         self.baseline = baseline or Baseline()
+        self.cache = cache
 
     # ------------------------------------------------------------------
     def load(self, paths: Iterable[str]) -> List[SourceFile]:
@@ -350,39 +537,89 @@ class Analyzer:
             sources.append(SourceFile(path, _display_path(path), text))
         return sources
 
-    def run(self, paths: Iterable[str]) -> Report:
-        """Analyze a tree: per-file rules, cross-file rules, meta checks."""
-        sources = self.load(paths)
-        report = Report(files=len(sources))
-        by_display = {src.display: src for src in sources}
-        raw: List[Finding] = []
-        for src in sources:
-            if src.syntax_error is not None:
-                report.findings.append(Finding(
-                    rule=META_SYNTAX, path=src.display, line=1, col=0,
-                    message=f"file does not parse: {src.syntax_error}"))
-                continue
-            for lineno in src.bad_noqa:
-                report.findings.append(Finding(
-                    rule=META_BAD_NOQA, path=src.display, line=lineno, col=0,
-                    message="tdram noqa must name rules and a reason: "
-                            "# tdram: noqa[SIM001] -- why"))
+    # ------------------------------------------------------------------
+    def _analyze_file(self, path: Path, display: str,
+                      text: str) -> _FileEntry:
+        """Per-file pass: cache replay, or parse + facts + rules."""
+        if self.cache is not None:
+            payload = self.cache.get(display, text)
+            if payload is not None:
+                return _FileEntry.from_payload(display, path, payload)
+        src = SourceFile(path, display, text)
+        entry = _FileEntry(display=display, path=path,
+                           suppressions=src.suppressions,
+                           bad_noqa=src.bad_noqa,
+                           syntax_error=src.syntax_error)
+        if src.tree is not None:
+            entry.facts = extract(src.tree, src.modkey)
             for rule in self.rules:
                 if rule.cross_file or rule.exempt(src):
                     continue
-                raw.extend(rule.check(src))
-        parsed = [s for s in sources if s.tree is not None]
+                entry.findings.extend(rule.check(src))
+        if self.cache is not None and self._cache_complete:
+            self.cache.put(display, text, entry.to_payload())
+        return entry
+
+    def run(self, paths: Iterable[str]) -> Report:
+        """Analyze a tree: per-file rules, cross-file rules, meta checks."""
+        start_hits = self.cache.hits if self.cache is not None else 0
+        start_misses = self.cache.misses if self.cache is not None else 0
+        entries = [self._analyze_file(path, _display_path(path),
+                                      path.read_text(encoding="utf-8"))
+                   for path in _iter_sources(paths)]
+        report = Report(files=len(entries))
+        if self.cache is not None:
+            # Deltas: the same cache object may serve many runs.
+            report.cache_hits = self.cache.hits - start_hits
+            report.cache_misses = self.cache.misses - start_misses
+        selected = {rule.id for rule in self.rules}
+        raw: List[Finding] = []
+        for entry in entries:
+            if entry.syntax_error is not None:
+                report.findings.append(Finding(
+                    rule=META_SYNTAX, path=entry.display, line=1, col=0,
+                    message=f"file does not parse: {entry.syntax_error}"))
+                continue
+            for lineno in entry.bad_noqa:
+                report.findings.append(Finding(
+                    rule=META_BAD_NOQA, path=entry.display, line=lineno,
+                    col=0,
+                    message="tdram noqa must name rules and a reason: "
+                            "# tdram: noqa[SIM001] -- why"))
+            raw.extend(f for f in entry.findings if f.rule in selected)
+        facts_map = {e.display: e.facts for e in entries
+                     if e.facts is not None}
+        project = ProjectContext(facts_map, root=_detect_root(entries))
         for rule in self.rules:
             if rule.cross_file:
-                scoped = [s for s in parsed if not rule.exempt(s)]
-                raw.extend(rule.check_project(scoped))
+                raw.extend(rule.check_project(project))
+        by_display = {e.display: e for e in entries}
+        matched: Set[Tuple[str, str, str]] = set()
         for finding in sorted(raw, key=lambda f: (f.path, f.line, f.rule)):
-            src = by_display.get(finding.path)
-            if src is not None and src.suppressed(finding):
+            entry = by_display.get(finding.path)
+            if entry is not None and any(
+                    s.line == finding.line and finding.rule in s.rules
+                    for s in entry.suppressions):
                 report.suppressed.append(finding)
             elif self.baseline.covers(finding):
+                matched.add(finding.fingerprint)
                 report.baselined.append(finding)
             else:
                 report.findings.append(finding)
+        # A baseline entry that no longer fires is itself a finding:
+        # the debt it grandfathered is gone, so the entry must go too.
+        analyzed = set(by_display)
+        for entry_dict in self.baseline.entries:
+            fingerprint = (entry_dict["rule"], entry_dict["path"],
+                           entry_dict["message"])
+            if fingerprint[0] not in selected or \
+                    fingerprint[1] not in analyzed or \
+                    fingerprint in matched:
+                continue
+            report.findings.append(Finding(
+                rule=META_STALE_BASELINE, path=fingerprint[1], line=1, col=0,
+                message=f"stale baseline entry: {fingerprint[0]} "
+                        f"'{fingerprint[2]}' no longer fires — delete it "
+                        "from the baseline"))
         report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
         return report

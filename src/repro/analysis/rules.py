@@ -1,10 +1,21 @@
-"""The SIM001–SIM013 rule set: simulator invariants as lint rules.
+"""The SIM001–SIM016 core rule set: simulator invariants as lint rules.
 
 Each rule encodes one invariant the simulator's reproducibility or
 result integrity depends on; the rationale strings below are surfaced
-by ``tdram-repro lint --list-rules`` and expanded with examples in
-``docs/static-analysis.md``. Rules are registered with the engine via
-the :func:`repro.analysis.engine.register` decorator.
+by ``tdram-repro lint --list-rules``/``--explain`` and expanded with
+examples in ``docs/static-analysis.md``. Rules are registered with the
+engine via the :func:`repro.analysis.engine.register` decorator.
+SIM014 lives in :mod:`repro.analysis.cachekey`, SIM015 in
+:mod:`repro.analysis.units`, and SIM017/SIM018 in
+:mod:`repro.analysis.contracts`.
+
+Scoping: the historical module-prefix lists (``repro.sim``/``cache``/
+``dram`` are hot, ``repro.experiments`` is host-side) remain as a
+conservative floor, and the rules that police the dispatch path
+(SIM001, SIM011) additionally consult the sim-reachability call graph
+(:mod:`repro.analysis.callgraph`): a function *proven* reachable from
+the kernel dispatch entry points is held to the sim invariants no
+matter which module it lives in.
 """
 
 from __future__ import annotations
@@ -12,68 +23,42 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.engine import Finding, Rule, SourceFile, register
+from repro.analysis.dataflow import (
+    COUNTER_ADD_RECEIVERS,
+    FileFacts,
+    canonical as _canonical,
+    dotted as _dotted,
+    terminal as _terminal,
+    import_map as _import_map,
+)
+from repro.analysis.engine import (
+    Finding,
+    ProjectContext,
+    Rule,
+    SourceFile,
+    register,
+)
 
 #: Cross-file rules whose findings may live in the committed baseline
 #: (with justification); everything else must be fixed or suppressed
 #: inline at the use site.
-BASELINE_RULES = frozenset({"SIM006", "SIM007"})
+BASELINE_RULES = frozenset({"SIM006", "SIM007", "SIM016"})
 
-#: All rule ids this module provides, in catalogue order.
-SIM_RULES = tuple(f"SIM{n:03d}" for n in range(1, 14))
+#: All rule ids the analysis package provides, in catalogue order.
+SIM_RULES = tuple(f"SIM{n:03d}" for n in range(1, 19))
 
 #: Module basenames that are user-interface entry points (SIM010 and
 #: the wall-clock rule do not apply: a CLI may print and show ETAs).
 _CLI_BASENAMES = {"cli", "__main__"}
 
 
-def _import_map(tree: ast.Module) -> Dict[str, str]:
-    """Map local names to canonical dotted origins.
-
-    ``import numpy as np`` maps ``np -> numpy``; ``from time import
-    perf_counter_ns as pc`` maps ``pc -> time.perf_counter_ns``.
-    """
-    table: Dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                table[alias.asname or alias.name.split(".")[0]] = alias.name
-        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
-            for alias in node.names:
-                table[alias.asname or alias.name] = \
-                    f"{node.module}.{alias.name}"
-    return table
+def _modkey_in(modkey: str, *prefixes: str) -> bool:
+    """Module-prefix test on a facts module key (dotted or basename)."""
+    return any(modkey == p or modkey.startswith(p + ".") for p in prefixes)
 
 
-def _dotted(node: ast.AST) -> Optional[str]:
-    """Dotted name of a Name/Attribute chain, or None if dynamic."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    parts.append(node.id)
-    return ".".join(reversed(parts))
-
-
-def _canonical(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
-    """Dotted name with the leading alias resolved through imports."""
-    dotted = _dotted(node)
-    if dotted is None:
-        return None
-    head, _, rest = dotted.partition(".")
-    origin = imports.get(head, head)
-    return f"{origin}.{rest}" if rest else origin
-
-
-def _terminal(node: ast.AST) -> Optional[str]:
-    """Last component of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Name):
-        return node.id
-    return None
+def _modkey_basename(modkey: str) -> str:
+    return modkey.rsplit(".", 1)[-1]
 
 
 @register
@@ -82,40 +67,40 @@ class NoWallClock(Rule):
 
     id = "SIM001"
     title = "no wall-clock in sim paths"
+    cross_file = True
     rationale = (
         "Simulated time is the kernel's integer picosecond clock; any "
         "host-clock read (time.time, perf_counter, datetime.now) inside "
         "a simulated component leaks nondeterminism into results and "
         "invalidates the campaign cache key, which assumes a run is a "
-        "pure function of (design, workload, config, seed).")
+        "pure function of (design, workload, config, seed). Scope is "
+        "the union of the non-host module floor and every function the "
+        "call graph proves reachable from kernel dispatch.")
 
-    _BANNED = (
-        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
-        "time.perf_counter", "time.perf_counter_ns", "time.process_time",
-        "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
-        "datetime.datetime.now", "datetime.datetime.utcnow",
-        "datetime.datetime.today", "datetime.date.today",
-    )
-
-    def exempt(self, source: SourceFile) -> bool:
+    def _host_side(self, modkey: str) -> bool:
         # Host-side orchestration (campaign ETA displays, deadline
         # supervision, report generation, this analysis package) may
         # read the host clock; simulated components may not.
-        return (source.in_module("repro.experiments", "repro.analysis",
-                                 "repro.resilience")
-                or source.basename in _CLI_BASENAMES)
+        return (_modkey_in(modkey, "repro.experiments", "repro.analysis",
+                           "repro.resilience")
+                or _modkey_basename(modkey) in _CLI_BASENAMES)
 
-    def check(self, source: SourceFile) -> Iterator[Finding]:
-        imports = _import_map(source.tree)
-        for node in ast.walk(source.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            name = _canonical(node.func, imports)
-            if name in self._BANNED:
-                yield self.finding(
-                    source, node,
-                    f"wall-clock read {name}() in a sim path; simulated "
-                    "components must use the kernel clock (sim.now)")
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        for display, facts in sorted(project.facts.items()):
+            modkey = facts.modkey
+            sites = facts.get("wallclock", [])
+            assert isinstance(sites, list)
+            for site in sites:
+                in_scope = not self._host_side(modkey)
+                if not in_scope and graph.active:
+                    in_scope = graph.is_reachable(modkey, str(site["fn"]))
+                if in_scope:
+                    yield self.at(
+                        display, site["line"], site["col"],
+                        f"wall-clock read {site['name']}() in a sim path; "
+                        "simulated components must use the kernel clock "
+                        "(sim.now)")
 
 
 @register
@@ -290,14 +275,6 @@ class NoConfigMutation(Rule):
                         "frozen inputs — use with_() before the run")
 
 
-#: Attribute names that hold a CounterSet by repo convention; literal
-#: subscripts on these receivers are treated as counter reads.
-_COUNTER_RECEIVERS = {"outcomes", "events", "counters", "counts", "ops"}
-#: Module-level ALL-CAPS constants with these suffixes declare counter
-#: names produced dynamically (e.g. f-string categories).
-_DECLARING_SUFFIXES = ("_CATEGORIES", "_COUNTERS")
-
-
 @register
 class CountersDeclared(Rule):
     """SIM006 — every literal counter read is declared somewhere."""
@@ -312,72 +289,19 @@ class CountersDeclared(Rule):
         ".total((...)) must appear in an .add()/.declare() call or a "
         "*_CATEGORIES/*_COUNTERS constant somewhere in the tree.")
 
-    def _declared(self, sources: Sequence[SourceFile]) -> Set[str]:
-        names: Set[str] = set()
-        for src in sources:
-            for node in ast.walk(src.tree):
-                if isinstance(node, ast.Call) and \
-                        isinstance(node.func, ast.Attribute) and \
-                        node.func.attr in ("add", "declare"):
-                    for arg in node.args[:1] if node.func.attr == "add" \
-                            else node.args:
-                        if isinstance(arg, ast.Constant) and \
-                                isinstance(arg.value, str):
-                            names.add(arg.value)
-                elif isinstance(node, ast.Assign):
-                    for target in node.targets:
-                        if isinstance(target, ast.Name) and \
-                                target.id.isupper() and \
-                                target.id.endswith(_DECLARING_SUFFIXES):
-                            for const in ast.walk(node.value):
-                                if isinstance(const, ast.Constant) and \
-                                        isinstance(const.value, str):
-                                    names.add(const.value)
-        return names
-
-    def _reads(self, src: SourceFile) -> Iterator[Tuple[ast.AST, str]]:
-        # Inside a class whose name (or base name) mentions "Counter",
-        # ``self[...]``/``self.total(...)`` are counter reads too.
-        class_stack: List[bool] = []
-
-        def visit(node: ast.AST) -> Iterator[Tuple[ast.AST, str]]:
-            if isinstance(node, ast.ClassDef):
-                names = [node.name] + \
-                    [t for t in (_terminal(b) for b in node.bases) if t]
-                class_stack.append(any("Counter" in n for n in names))
-            if isinstance(node, ast.Subscript):
-                receiver = _terminal(node.value)
-                counterish = receiver in _COUNTER_RECEIVERS or (
-                    receiver == "self" and any(class_stack))
-                if counterish and isinstance(node.slice, ast.Constant) and \
-                        isinstance(node.slice.value, str):
-                    yield node, node.slice.value
-            if isinstance(node, ast.Call) and \
-                    isinstance(node.func, ast.Attribute) and \
-                    node.func.attr == "total":
-                receiver = _terminal(node.func.value)
-                if receiver in _COUNTER_RECEIVERS or (
-                        receiver == "self" and any(class_stack)):
-                    for arg in node.args:
-                        if isinstance(arg, (ast.Tuple, ast.List)):
-                            for elt in arg.elts:
-                                if isinstance(elt, ast.Constant) and \
-                                        isinstance(elt.value, str):
-                                    yield elt, elt.value
-            for child in ast.iter_child_nodes(node):
-                yield from visit(child)
-            if isinstance(node, ast.ClassDef):
-                class_stack.pop()
-
-        yield from visit(src.tree)
-
-    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
-        declared = self._declared(sources)
-        for src in sources:
-            for node, name in self._reads(src):
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        declared: Set[str] = set()
+        for facts in project.facts.values():
+            names = facts.get("declared_counters", [])
+            assert isinstance(names, list)
+            declared.update(str(n) for n in names)
+        for display, facts in sorted(project.facts.items()):
+            reads = facts.get("counter_reads", [])
+            assert isinstance(reads, list)
+            for name, line, col in reads:
                 if name not in declared:
-                    yield self.finding(
-                        src, node,
+                    yield self.at(
+                        display, line, col,
                         f"counter '{name}' is read but never added or "
                         "declared anywhere in the tree (reads of unknown "
                         "counters silently return 0)")
@@ -397,45 +321,27 @@ class ConfigKnobsConsumed(Rule):
         "dataclasses must have at least one attribute-access consumer "
         "in the tree (or a baseline entry explaining why it stays).")
 
-    def _config_classes(self, sources: Sequence[SourceFile]) \
-            -> Iterator[Tuple[SourceFile, ast.ClassDef]]:
-        for src in sources:
-            defines_configs = src.in_module("repro.config")
-            for node in ast.walk(src.tree):
-                if not isinstance(node, ast.ClassDef):
-                    continue
-                decorated = any(
-                    (_terminal(d) or "") == "dataclass" or
-                    (isinstance(d, ast.Call) and
-                     (_terminal(d.func) or "") == "dataclass")
-                    for d in node.decorator_list)
-                if decorated and (defines_configs
-                                  or node.name.endswith("Config")):
-                    yield src, node
-
-    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
         consumed: Set[str] = set()
-        for src in sources:
-            for node in ast.walk(src.tree):
-                if isinstance(node, ast.Attribute):
-                    consumed.add(node.attr)
-        for src, cls in self._config_classes(sources):
-            for stmt in cls.body:
-                if not isinstance(stmt, ast.AnnAssign) or \
-                        not isinstance(stmt.target, ast.Name):
+        for facts in project.facts.values():
+            reads = facts.get("attr_reads", [])
+            assert isinstance(reads, list)
+            consumed.update(str(n) for n in reads)
+        for display, facts in sorted(project.facts.items()):
+            in_config_pkg = _modkey_in(facts.modkey, "repro.config")
+            dataclasses = facts.get("dataclasses", [])
+            assert isinstance(dataclasses, list)
+            for record in dataclasses:
+                cls = str(record["name"]).rsplit(".", 1)[-1]
+                if not (in_config_pkg or cls.endswith("Config")):
                     continue
-                name = stmt.target.id
-                if name.startswith("_"):
-                    continue
-                annotation = ast.unparse(stmt.annotation)
-                if "ClassVar" in annotation:
-                    continue
-                if name not in consumed:
-                    yield self.finding(
-                        src, stmt,
-                        f"config field {cls.name}.{name} is never consumed "
-                        "(no attribute access anywhere in the tree) — a "
-                        "dead knob that still perturbs the cache key")
+                for name, line, col, _annotation in record["fields"]:
+                    if name not in consumed:
+                        yield self.at(
+                            display, line, col,
+                            f"config field {cls}.{name} is never consumed "
+                            "(no attribute access anywhere in the tree) — "
+                            "a dead knob that still perturbs the cache key")
 
 
 @register
@@ -555,6 +461,7 @@ class NoClosureOnDispatchPath(Rule):
 
     id = "SIM011"
     title = "no closures in event scheduling"
+    cross_file = True
     rationale = (
         "sim.at()/sim.schedule() run once per simulated event — the "
         "hottest loop in the tree. A lambda (or functools.partial) "
@@ -563,46 +470,36 @@ class NoClosureOnDispatchPath(Rule):
         "event handle, so ``sim.at(t, self._writeback, block)`` carries "
         "the same state with zero extra allocation. The campaign-scale "
         "cost of the closure idiom is what the ladder-queue rewrite "
-        "removed; this rule keeps it from creeping back into "
-        "repro.sim/cache/dram.")
+        "removed; this rule keeps it out of repro.sim/cache/dram and "
+        "out of any function the call graph proves dispatch-reachable.")
 
-    _SCHEDULERS = {"at", "schedule"}
+    _MESSAGES = {
+        "lambda": (
+            "lambda allocated per scheduled event; pass the "
+            "callable and its arguments separately — "
+            "at(t, callback, *args) stores them on the handle"),
+        "partial": (
+            "functools.partial allocated per scheduled event; "
+            "at(t, callback, *args) already carries trailing "
+            "arguments without the extra object"),
+    }
 
-    def exempt(self, source: SourceFile) -> bool:
-        # Only the per-event dispatch paths are hot enough to matter;
-        # host-side orchestration and tests may close over freely.
-        return not source.in_module("repro.sim", "repro.cache",
-                                    "repro.dram")
-
-    def _is_partial(self, node: ast.AST) -> bool:
-        return isinstance(node, ast.Call) and \
-            (_terminal(node.func) or "") == "partial"
-
-    def check(self, source: SourceFile) -> Iterator[Finding]:
-        for node in ast.walk(source.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            if _terminal(node.func) not in self._SCHEDULERS:
-                continue
-            # Only method-style calls (sim.at(...), self.sim.schedule())
-            # are scheduler calls; a bare at()/schedule() name is
-            # something else.
-            if not isinstance(node.func, ast.Attribute):
-                continue
-            args = list(node.args) + [kw.value for kw in node.keywords]
-            for arg in args:
-                if isinstance(arg, ast.Lambda):
-                    yield self.finding(
-                        source, arg,
-                        "lambda allocated per scheduled event; pass the "
-                        "callable and its arguments separately — "
-                        "at(t, callback, *args) stores them on the handle")
-                elif self._is_partial(arg):
-                    yield self.finding(
-                        source, arg,
-                        "functools.partial allocated per scheduled event; "
-                        "at(t, callback, *args) already carries trailing "
-                        "arguments without the extra object")
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        for display, facts in sorted(project.facts.items()):
+            modkey = facts.modkey
+            sites = facts.get("sched_closures", [])
+            assert isinstance(sites, list)
+            for site in sites:
+                # Hot-path floor: the kernel/cache/dram packages are
+                # always in scope; elsewhere only if dispatch-reachable.
+                in_scope = _modkey_in(modkey, "repro.sim", "repro.cache",
+                                      "repro.dram")
+                if not in_scope and graph.active:
+                    in_scope = graph.is_reachable(modkey, str(site["fn"]))
+                if in_scope:
+                    yield self.at(display, site["line"], site["col"],
+                                  self._MESSAGES[str(site["kind"])])
 
 
 @register
@@ -676,49 +573,108 @@ class DesignsRegisteredInCli(Rule):
         "documented name every campaign rejects. The two tables must "
         "list exactly the same design names.")
 
-    def _literal_keys(self, tree: ast.Module, target_name: str) \
-            -> Optional[Tuple[ast.AST, Set[str]]]:
-        """String keys of a module-level ``target_name = {...}`` literal."""
-        for node in ast.walk(tree):
-            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+    def _table(self, project: ProjectContext, modkey: str,
+               name: str) -> Optional[Tuple[str, Dict[str, object], Set[str]]]:
+        for display, facts in sorted(project.facts.items()):
+            if facts.modkey != modkey:
                 continue
-            targets = node.targets if isinstance(node, ast.Assign) \
-                else [node.target]
-            if not any(isinstance(t, ast.Name) and t.id == target_name
-                       for t in targets):
-                continue
-            if not isinstance(node.value, ast.Dict):
-                continue
-            keys = {k.value for k in node.value.keys
-                    if isinstance(k, ast.Constant)
-                    and isinstance(k.value, str)}
-            return node, keys
+            constants = facts.get("constants", {})
+            assert isinstance(constants, dict)
+            record = constants.get(name)
+            if isinstance(record, dict) and record.get("kind") == "dict":
+                keys = record.get("keys", [])
+                assert isinstance(keys, list)
+                return display, record, {str(k) for k in keys}
         return None
 
-    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
-        registry = table = None
-        reg_src = cli_src = None
-        for src in sources:
-            if src.in_module("repro.cache") and src.basename == "__init__":
-                registry = self._literal_keys(src.tree, "DESIGNS")
-                reg_src = src
-            elif src.in_module("repro.experiments") and src.basename == "cli":
-                table = self._literal_keys(src.tree, "_DESIGN_SUMMARIES")
-                cli_src = src
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        registry = self._table(project, "repro.cache", "DESIGNS")
+        table = self._table(project, "repro.experiments.cli",
+                            "_DESIGN_SUMMARIES")
         # Inert when either side is missing (e.g. linting a subtree).
         if registry is None or table is None:
             return
-        reg_node, reg_keys = registry
-        cli_node, cli_keys = table
+        reg_display, reg_record, reg_keys = registry
+        cli_display, cli_record, cli_keys = table
         for name in sorted(reg_keys - cli_keys):
-            yield self.finding(
-                cli_src, cli_node,
+            yield self.at(
+                cli_display, cli_record["line"], cli_record["col"],
                 f"design '{name}' is registered in repro.cache.DESIGNS but "
                 "missing from the CLI _DESIGN_SUMMARIES table — "
                 "undiscoverable from the command line")
         for name in sorted(cli_keys - reg_keys):
-            yield self.finding(
-                reg_src, reg_node,
+            yield self.at(
+                reg_display, reg_record["line"], reg_record["col"],
                 f"design '{name}' is listed in the CLI _DESIGN_SUMMARIES "
                 "table but not registered in repro.cache.DESIGNS — every "
                 "campaign will reject it")
+
+
+@register
+class NoOrphanCounters(Rule):
+    """SIM016 — no counters incremented but never surfaced anywhere."""
+
+    id = "SIM016"
+    title = "no orphan counters"
+    cross_file = True
+    rationale = (
+        "The inverse of SIM006: a counter that is .add()ed on a "
+        "CounterSet receiver but never read via a literal subscript or "
+        ".total((...)), never listed in a *_CATEGORIES/*_COUNTERS "
+        "declaring constant, and never documented in docs/metrics.md "
+        "is write-only bookkeeping — it costs a dict update per event "
+        "and tells nobody anything. Surface it in a dump/epoch/metrics "
+        "table or delete the increment.")
+
+    def _surfaced(self, project: ProjectContext) -> Set[str]:
+        names: Set[str] = set()
+        for facts in project.facts.values():
+            reads = facts.get("counter_reads", [])
+            assert isinstance(reads, list)
+            names.update(str(r[0]) for r in reads)
+            constants = facts.get("constants", {})
+            assert isinstance(constants, dict)
+            for const_name, record in constants.items():
+                if not (const_name.isupper() and
+                        const_name.endswith(("_CATEGORIES", "_COUNTERS"))):
+                    continue
+                assert isinstance(record, dict)
+                if record.get("kind") == "seq":
+                    values = record.get("values", [])
+                    assert isinstance(values, list)
+                    names.update(str(v) for v in values)
+                elif record.get("kind") == "dict":
+                    keys = record.get("keys", [])
+                    assert isinstance(keys, list)
+                    names.update(str(k) for k in keys)
+        if project.root is not None:
+            metrics_doc = project.root / "docs" / "metrics.md"
+            if metrics_doc.exists():
+                text = metrics_doc.read_text(encoding="utf-8")
+                for facts in project.facts.values():
+                    adds = facts.get("counter_adds", [])
+                    assert isinstance(adds, list)
+                    names.update(str(a[0]) for a in adds
+                                 if f"`{a[0]}`" in text)
+        return names
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        surfaced = self._surfaced(project)
+        seen: Set[Tuple[str, str]] = set()
+        for display, facts in sorted(project.facts.items()):
+            adds = facts.get("counter_adds", [])
+            assert isinstance(adds, list)
+            for name, line, col, receiver, _cls in adds:
+                if receiver not in COUNTER_ADD_RECEIVERS:
+                    continue
+                if str(name) in surfaced:
+                    continue
+                # One finding per (file, counter), not per increment.
+                if (display, str(name)) in seen:
+                    continue
+                seen.add((display, str(name)))
+                yield self.at(
+                    display, line, col,
+                    f"counter '{name}' is incremented but never surfaced "
+                    "— no literal read, no declaring constant, no "
+                    "docs/metrics.md row (write-only bookkeeping)")

@@ -1,0 +1,315 @@
+"""Time-unit dimension checking (SIM015).
+
+The kernel clock is integer picoseconds; timing tables carry
+nanosecond floats (``t_rcd_ns``), bus rates carry ``_gbps``/``_ghz``,
+and the only sanctioned bridges are the conversion helpers declared in
+:data:`repro.config.system.TIME_UNIT_HELPERS` (``ns()`` going ns→ps,
+``to_ns()`` going ps→ns). A unit slip — adding ``sim.now`` to a
+``*_ns`` value, comparing a picosecond deadline against a nanosecond
+latency — produces plausible-looking numbers that corrupt every
+derived figure, which is why the checker treats units as dimensions:
+
+* a value's unit is inferred from its name suffix (``_ps``, ``_ns``,
+  ``_us``, ``_ms``, ``_gbps``, ``_ghz``), from ``sim.now`` (ps by
+  kernel contract), or from the declared return unit of a conversion
+  helper;
+* units propagate through local assignments, ``min``/``max``/``abs``
+  and ternaries, statement by statement inside each function;
+* additive arithmetic (``+``/``-``) and ordering/equality comparisons
+  between two *known, different* units are findings, as is calling a
+  conversion helper with the wrong input unit or binding a
+  unit-suffixed name to a value of another unit. Multiplicative
+  arithmetic is exempt — it legitimately changes dimension.
+
+A module may extend the helper table with its own module-level
+``TIME_UNIT_HELPERS = {"to_us": ("ps", "us")}`` literal; the analysis
+reads the declaration from the tree it is checking, so fixtures and
+the real repo are handled identically.
+
+The pass runs at fact-extraction time (:func:`unit_diagnostics`) and
+stores its verdicts in the per-file facts, so warm cached runs replay
+them without re-parsing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.engine import Finding, ProjectContext, Rule, register
+
+#: Identifier suffix -> unit dimension.
+UNIT_SUFFIXES: Dict[str, str] = {
+    "_ps": "ps", "_ns": "ns", "_us": "us", "_ms": "ms",
+    "_gbps": "gbps", "_ghz": "ghz",
+}
+
+#: Built-in conversion helpers: callee name -> (input unit, output
+#: unit). Mirrors :data:`repro.config.system.TIME_UNIT_HELPERS` (the
+#: repo's declared table; a test asserts the two stay identical).
+DEFAULT_TIME_UNIT_HELPERS: Dict[str, Tuple[str, str]] = {
+    "ns": ("ns", "ps"),
+    "to_ns": ("ps", "ns"),
+}
+
+#: Builtins that return one of their arguments unchanged (unit-wise).
+_PASSTHROUGH = {"abs", "int", "float", "round"}
+_CHOICE = {"min", "max"}
+
+
+def _suffix_unit(name: Optional[str]) -> Optional[str]:
+    if name is None:
+        return None
+    for suffix, unit in UNIT_SUFFIXES.items():
+        if name.endswith(suffix) and name != suffix.lstrip("_"):
+            return unit
+    return None
+
+
+def _terminal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _declared_helpers(tree: ast.Module) -> Dict[str, Tuple[str, str]]:
+    """Merge module-level ``TIME_UNIT_HELPERS`` literals over defaults."""
+    helpers = dict(DEFAULT_TIME_UNIT_HELPERS)
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "TIME_UNIT_HELPERS"
+                   for t in targets):
+            continue
+        if not isinstance(value, ast.Dict):
+            continue
+        for key, val in zip(value.keys, value.values):
+            if not (isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)):
+                continue
+            if isinstance(val, (ast.Tuple, ast.List)) and \
+                    len(val.elts) == 2 and \
+                    all(isinstance(e, ast.Constant)
+                        and isinstance(e.value, str) for e in val.elts):
+                elems = [e.value for e in val.elts
+                         if isinstance(e, ast.Constant)]
+                helpers[key.value] = (str(elems[0]), str(elems[1]))
+    return helpers
+
+
+class _FunctionUnits:
+    """Statement-ordered unit inference over one function body."""
+
+    def __init__(self, helpers: Dict[str, Tuple[str, str]],
+                 diagnostics: List[Dict[str, object]]) -> None:
+        self.helpers = helpers
+        self.diagnostics = diagnostics
+        self.env: Dict[str, str] = {}
+        self._seen: set = set()
+
+    # ------------------------------------------------------------------
+    def _diag(self, node: ast.AST, kind: str, message: str) -> None:
+        # The same expression is evaluated both by the statement walker
+        # and by binding inference; one diagnostic per site is enough.
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        marker = (line, col, kind, message)
+        if marker in self._seen:
+            return
+        self._seen.add(marker)
+        self.diagnostics.append({
+            "kind": kind, "message": message, "line": line, "col": col})
+
+    def unit_of(self, node: ast.AST) -> Optional[str]:
+        """Infer the dimension of an expression, or None if unknown."""
+        if isinstance(node, ast.Constant):
+            return None  # literals are unitless and combine with anything
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id) or _suffix_unit(node.id)
+        if isinstance(node, ast.Attribute):
+            if node.attr == "now" and _terminal(node.value) == "sim":
+                return "ps"  # kernel contract: sim.now is integer ps
+            return _suffix_unit(node.attr)
+        if isinstance(node, ast.UnaryOp):
+            return self.unit_of(node.operand)
+        if isinstance(node, ast.IfExp):
+            body, orelse = self.unit_of(node.body), self.unit_of(node.orelse)
+            return body if body == orelse else None
+        if isinstance(node, ast.BinOp):
+            return self._binop_unit(node)
+        if isinstance(node, ast.Call):
+            return self._call_unit(node)
+        return None
+
+    def _binop_unit(self, node: ast.BinOp) -> Optional[str]:
+        left, right = self.unit_of(node.left), self.unit_of(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left is not None and right is not None and left != right:
+                self._diag(
+                    node, "mixed-arith",
+                    f"mixed-unit arithmetic: {left} "
+                    f"{'+' if isinstance(node.op, ast.Add) else '-'} "
+                    f"{right} (convert through the declared helpers "
+                    "before combining)")
+                return None
+            return left or right
+        # *, /, //, % legitimately change dimension — no propagation.
+        return None
+
+    def _call_unit(self, node: ast.Call) -> Optional[str]:
+        callee = _terminal(node.func)
+        if callee in self.helpers:
+            expected, produced = self.helpers[callee]
+            if node.args:
+                actual = self.unit_of(node.args[0])
+                if actual is not None and actual != expected:
+                    self._diag(
+                        node, "helper-arg",
+                        f"conversion helper {callee}() expects {expected} "
+                        f"but is given a {actual} value")
+            return produced
+        if callee in _PASSTHROUGH and len(node.args) == 1:
+            return self.unit_of(node.args[0])
+        if callee in _CHOICE and node.args:
+            units = {u for u in (self.unit_of(a) for a in node.args)
+                     if u is not None}
+            if len(units) > 1:
+                self._diag(
+                    node, "mixed-compare",
+                    f"{callee}() over mixed units "
+                    f"({', '.join(sorted(units))}) compares "
+                    "incommensurable quantities")
+                return None
+            return next(iter(units), None)
+        return _suffix_unit(callee)  # e.g. a local now_ns()/elapsed_us()
+
+    # ------------------------------------------------------------------
+    def check_compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        units = [self.unit_of(o) for o in operands]
+        for left, right, lu, ru in zip(operands, operands[1:],
+                                       units, units[1:]):
+            if lu is not None and ru is not None and lu != ru:
+                self._diag(
+                    node, "mixed-compare",
+                    f"comparison between {lu} and {ru} values; convert "
+                    "to a common unit first")
+
+    def bind(self, name: str, node: ast.AST, value: ast.AST) -> None:
+        unit = self.unit_of(value)
+        declared = _suffix_unit(name)
+        if declared is not None and unit is not None and declared != unit:
+            self._diag(
+                node, "suffix-assign",
+                f"'{name}' declares {declared} by suffix but is assigned "
+                f"a {unit} value")
+        if unit is not None:
+            self.env[name] = unit
+        elif declared is not None:
+            self.env.setdefault(name, declared)
+
+    # ------------------------------------------------------------------
+    def run(self, fn: ast.FunctionDef) -> None:
+        args = fn.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            unit = _suffix_unit(arg.arg)
+            if unit is not None:
+                self.env[arg.arg] = unit
+        self._walk(fn.body)
+
+    def _walk(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scopes get their own walker
+        if isinstance(stmt, ast.Assign):
+            self._expression(stmt.value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.bind(target.id, stmt, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._expression(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                self.bind(stmt.target.id, stmt, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self._expression(stmt.value)
+            if isinstance(stmt.target, ast.Name) and \
+                    isinstance(stmt.op, (ast.Add, ast.Sub)):
+                left = self.env.get(stmt.target.id) or \
+                    _suffix_unit(stmt.target.id)
+                right = self.unit_of(stmt.value)
+                if left is not None and right is not None and left != right:
+                    self._diag(
+                        stmt, "mixed-arith",
+                        f"mixed-unit arithmetic: {left} "
+                        f"{'+' if isinstance(stmt.op, ast.Add) else '-'}= "
+                        f"{right}")
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    self._statement(child)
+                elif isinstance(child, ast.expr):
+                    self._expression(child)
+
+    def _expression(self, node: ast.expr) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Compare):
+                self.check_compare(sub)
+            elif isinstance(sub, ast.BinOp):
+                self.unit_of(sub)  # runs the mixed-arith check
+            elif isinstance(sub, ast.Call):
+                self._call_unit(sub)  # runs the helper-arg check
+
+
+def unit_diagnostics(tree: ast.Module) -> List[Dict[str, object]]:
+    """Run the unit checker over every function in a parsed module."""
+    helpers = _declared_helpers(tree)
+    diagnostics: List[Dict[str, object]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _FunctionUnits(helpers, diagnostics).run(node)
+    # Module-level statements run through a walker of their own.
+    module_walker = _FunctionUnits(helpers, diagnostics)
+    module_walker._walk([s for s in tree.body
+                         if not isinstance(s, (ast.FunctionDef,
+                                               ast.AsyncFunctionDef,
+                                               ast.ClassDef))])
+    return diagnostics
+
+
+@register
+class TimeUnitSoundness(Rule):
+    """SIM015 — no mixed-unit time arithmetic or comparisons."""
+
+    id = "SIM015"
+    title = "time-unit dimension checking"
+    cross_file = True
+    rationale = (
+        "The kernel clock is integer picoseconds; timing tables are "
+        "nanosecond floats; bus rates are _gbps/_ghz. Units are "
+        "inferred from name suffixes, sim.now, and the conversion "
+        "helpers declared in repro.config.system.TIME_UNIT_HELPERS "
+        "(ns() goes ns->ps, to_ns() goes ps->ns) and propagated "
+        "through local assignments. Adding or comparing two values of "
+        "different known units — or feeding a helper the wrong input "
+        "unit — silently corrupts every latency and bandwidth figure "
+        "derived from the run, so it is a finding, not a warning.")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for display, facts in sorted(project.facts.items()):
+            diagnostics = facts.get("unit_diagnostics", [])
+            assert isinstance(diagnostics, list)
+            for diag in diagnostics:
+                yield Finding(
+                    rule=self.id, path=display,
+                    line=int(diag["line"]), col=int(diag["col"]),
+                    message=str(diag["message"]))

@@ -13,6 +13,7 @@ restores the full-size geometry for users with patience.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
 
 from repro.dram.address import DramGeometry
 from repro.dram.timing import (
@@ -34,6 +35,27 @@ MIB = 1024 ** 2
 #: against this and scaled alongside the configured capacity.
 PAPER_CACHE_BYTES = 8 * GIB
 
+#: Observability-only fields: knobs a simulation may *read* without the
+#: campaign cache key covering them, because they cannot change any
+#: result — only where side artifacts land. Every entry carries the
+#: reason; the SIM014 cache-key soundness prover validates this table
+#: (unknown fields and empty reasons are findings) and treats anything
+#: not listed here as result-affecting.
+OBS_ONLY: Dict[str, str] = {
+    "trace_dir": "per-host scratch path for trace artifacts; results "
+                 "are byte-identical wherever traces are written",
+}
+
+#: Declared time-unit conversion helpers for the SIM015 dimension
+#: checker: ``{callable_name: (argument_unit, result_unit)}``. The
+#: kernel's ``ns()`` converts wall-number nanoseconds to integer
+#: picoseconds and ``to_ns()`` inverts it; SIM015 flags arithmetic that
+#: mixes units without passing through one of these.
+TIME_UNIT_HELPERS: Dict[str, Tuple[str, str]] = {
+    "ns": ("ns", "ps"),
+    "to_ns": ("ps", "ns"),
+}
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -49,7 +71,6 @@ class SystemConfig:
     # -- DRAM cache controller --
     read_buffer_entries: int = 64
     write_buffer_entries: int = 64
-    writeback_buffer_entries: int = 64
     flush_buffer_entries: int = 16
     enable_probing: bool = True
     use_predictor: bool = False

@@ -9,8 +9,11 @@ One entry point for everything CI gates beyond the test suite::
 
 Checks:
 
-* **lint** — ``repro.analysis`` (rules SIM001–SIM011) over ``src/repro``
-  against the committed baseline ``tools/lint_baseline.json``;
+* **lint** — ``repro.analysis`` (rules SIM001–SIM018: per-file
+  invariants plus the call-graph-driven semantic passes — cache-key
+  soundness, time units, orphan counters, plugin contracts) over
+  ``src/repro`` against the committed baseline
+  ``tools/lint_baseline.json``;
 * **typing** — the pinned strict mypy gate (``mypy.ini``) over the four
   core packages; when mypy is not installed (the dev container ships
   without it) a stdlib AST fallback enforces the annotation-completeness
