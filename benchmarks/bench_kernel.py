@@ -2,7 +2,7 @@
 
 Exercises ``repro.sim.kernel.Simulator`` in isolation — no cache model,
 no DRAM timing — so the number is the ceiling any full-system run can
-reach. Three scenarios, all with empty callbacks:
+reach. Scenarios, all with empty callbacks:
 
 ``stream``
     K self-rescheduling chains with a fixed short delay: the steady
@@ -12,9 +12,25 @@ reach. Three scenarios, all with empty callbacks:
     Delays cycled over sub-bucket, in-ring and beyond-ring horizons, so
     the bucket ring *and* the overflow heap (plus its migration step)
     are all on the measured path.
+``batched``
+    The mixed-horizon workload again under ``step_mode="batched"`` —
+    the sparse-calendar drain that sorts each occupied bucket once
+    instead of heap-popping event by event. Records its speedup over
+    the event-mode run; the CI perf-smoke job gates on its floor.
 ``cancel``
     Schedule a window of events and cancel every other one before it
     fires — the O(1) tombstone path plus dispatch-side draining.
+``sampled``
+    The one end-to-end scenario: a small tdram run exact vs SMARTS
+    sampled (``config.sampling``), recording the wall-clock speedup
+    and the sampled run's measured-demand coverage.
+
+Every timed scenario is preceded by an untimed warm-up pass at a
+reduced event count, so allocator warm-up and first-touch effects land
+outside the measurement. The record carries ``cpu_count`` (always the
+true host value) and a ``degraded`` marker like ``BENCH_campaign.json``
+does — wall-clock floors from a degraded host are not comparable
+datapoints.
 
 Writes ``BENCH_kernel.json``. Run standalone (the CI perf-smoke job
 does)::
@@ -30,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Optional
@@ -39,6 +56,13 @@ from repro.sim.kernel import Simulator
 #: delay pattern for the mixed-horizon scenario (ps): sub-bucket, ring,
 #: and past the 4096-bucket horizon into the overflow heap
 _HORIZONS = (700, 2_500, 60_000, 900_000, 5_000_000)
+
+#: untimed warm-up fraction of the measured event count (min 1000)
+_WARMUP_FRACTION = 0.1
+
+
+def _warmup_events(events: int) -> int:
+    return max(1_000, int(events * _WARMUP_FRACTION))
 
 
 def _bench_stream(events: int, chains: int = 8) -> float:
@@ -60,8 +84,8 @@ def _bench_stream(events: int, chains: int = 8) -> float:
     return fired / wall if wall else 0.0
 
 
-def _bench_mixed_horizon(events: int) -> float:
-    sim = Simulator()
+def _bench_mixed_horizon(events: int, step_mode: str = "event") -> float:
+    sim = Simulator(step_mode=step_mode)
     fired = 0
     horizons = _HORIZONS
     nh = len(horizons)
@@ -99,23 +123,79 @@ def _bench_cancel(events: int) -> float:
     return (events + len(handles[::2])) / wall if wall else 0.0
 
 
+def _bench_sampled(demands: int) -> dict:
+    """End-to-end exact vs sampled wall clock on one small tdram run."""
+    from repro.config.system import SystemConfig
+    from repro.experiments.runner import run_experiment
+    from repro.sim.sampling import SamplingConfig
+
+    exact_cfg = SystemConfig.small()
+    sampled_cfg = exact_cfg.with_(sampling=SamplingConfig(enabled=True))
+
+    # warm-up pass (imports, workload generator, numpy first-touch)
+    run_experiment("tdram", "bfs.22", config=exact_cfg,
+                   demands_per_core=max(100, demands // 10), seed=7)
+
+    start = time.perf_counter()
+    run_experiment("tdram", "bfs.22", config=exact_cfg,
+                   demands_per_core=demands, seed=7)
+    exact_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sampled = run_experiment("tdram", "bfs.22", config=sampled_cfg,
+                             demands_per_core=demands, seed=7)
+    sampled_wall = time.perf_counter() - start
+    return {
+        "demands_per_core": demands,
+        "exact_wall_s": round(exact_wall, 3),
+        "sampled_wall_s": round(sampled_wall, 3),
+        "speedup": round(exact_wall / sampled_wall, 3) if sampled_wall else 0.0,
+        "coverage": sampled.sampling["coverage"],
+    }
+
+
 def bench_kernel(events: int = 200_000,
-                 out: Optional[str] = "BENCH_kernel.json") -> dict:
+                 out: Optional[str] = "BENCH_kernel.json",
+                 sampled_demands: int = 2_000) -> dict:
     """Measure scheduler-only event throughput; write ``out``."""
+    warm = _warmup_events(events)
+    cpu_count = os.cpu_count() or 1
+
+    _bench_stream(warm)
+    stream = _bench_stream(events)
+    _bench_mixed_horizon(warm)
+    mixed = _bench_mixed_horizon(events)
+    _bench_mixed_horizon(warm, step_mode="batched")
+    batched = _bench_mixed_horizon(events, step_mode="batched")
+    _bench_cancel(warm)
+    cancel = _bench_cancel(events)
+
     record = {
         "bench": "kernel",
         "events": events,
+        "warmup_events": warm,
         "queue": Simulator.DEFAULT_QUEUE,
+        "cpu_count": cpu_count,
+        # Single-threaded benchmark, but wall-clock floors measured on a
+        # starved host are still not comparable datapoints: mirror the
+        # BENCH_campaign.json marker so downstream tooling can tell.
+        "degraded": cpu_count < 2,
         "scenarios": {
             "stream": {
-                "events_per_sec": round(_bench_stream(events)),
+                "events_per_sec": round(stream),
             },
             "mixed_horizon": {
-                "events_per_sec": round(_bench_mixed_horizon(events)),
+                "events_per_sec": round(mixed),
+            },
+            "batched": {
+                "events_per_sec": round(batched),
+                "step_mode": "batched",
+                "speedup_vs_event": round(batched / mixed, 3) if mixed else 0.0,
             },
             "cancel": {
-                "ops_per_sec": round(_bench_cancel(events)),
+                "ops_per_sec": round(cancel),
             },
+            "sampled": _bench_sampled(sampled_demands),
         },
     }
     if out:
@@ -127,32 +207,54 @@ def bench_kernel(events: int = 200_000,
 def test_bench_kernel(tmp_path):
     """Pytest entry: tiny event count, asserts every scenario ran."""
     out = tmp_path / "BENCH_kernel.json"
-    record = bench_kernel(events=5_000, out=str(out))
+    record = bench_kernel(events=5_000, out=str(out), sampled_demands=600)
     print()
     print(json.dumps(record, indent=1, sort_keys=True))
     assert record["scenarios"]["stream"]["events_per_sec"] > 0
     assert record["scenarios"]["mixed_horizon"]["events_per_sec"] > 0
+    assert record["scenarios"]["batched"]["events_per_sec"] > 0
     assert record["scenarios"]["cancel"]["ops_per_sec"] > 0
+    assert record["scenarios"]["sampled"]["speedup"] > 0
+    assert 0.0 < record["scenarios"]["sampled"]["coverage"] <= 1.0
+    assert record["cpu_count"] >= 1
     assert json.loads(out.read_text()) == record
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--events", type=int, default=200_000)
+    parser.add_argument("--sampled-demands", type=int, default=2_000,
+                        help="work quantum of the end-to-end sampled "
+                             "scenario (default 2000)")
     parser.add_argument("--out", default="BENCH_kernel.json")
     parser.add_argument("--min-events-per-sec", type=float, default=None,
                         help="exit nonzero if the stream scenario falls "
                              "below this floor")
+    parser.add_argument("--min-batched-events-per-sec", type=float,
+                        default=None,
+                        help="exit nonzero if the batched scenario falls "
+                             "below this floor")
     args = parser.parse_args(argv)
-    record = bench_kernel(events=args.events, out=args.out)
+    record = bench_kernel(events=args.events, out=args.out,
+                          sampled_demands=args.sampled_demands)
     print(json.dumps(record, indent=1, sort_keys=True))
-    floor = args.min_events_per_sec
-    if floor and record["scenarios"]["stream"]["events_per_sec"] < floor:
+    status = 0
+    scenarios = record["scenarios"]
+    if (args.min_events_per_sec
+            and scenarios["stream"]["events_per_sec"]
+            < args.min_events_per_sec):
         print(f"FAIL: stream events/sec "
-              f"{record['scenarios']['stream']['events_per_sec']} < {floor}",
-              file=sys.stderr)
-        return 1
-    return 0
+              f"{scenarios['stream']['events_per_sec']} "
+              f"< {args.min_events_per_sec}", file=sys.stderr)
+        status = 1
+    if (args.min_batched_events_per_sec
+            and scenarios["batched"]["events_per_sec"]
+            < args.min_batched_events_per_sec):
+        print(f"FAIL: batched events/sec "
+              f"{scenarios['batched']['events_per_sec']} "
+              f"< {args.min_batched_events_per_sec}", file=sys.stderr)
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

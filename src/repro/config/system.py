@@ -27,6 +27,7 @@ from repro.energy.power_model import EnergyModel
 from repro.errors import ConfigError
 from repro.obs.config import ObsConfig
 from repro.ras.config import RasConfig
+from repro.sim.sampling import SamplingConfig
 
 GIB = 1024 ** 3
 MIB = 1024 ** 2
@@ -142,6 +143,15 @@ class SystemConfig:
     max_outstanding_reads_per_core: int = 4
     # -- methodology --
     warmup_fraction: float = 0.2
+    #: kernel/controller stepping: "event" (the exact reference path)
+    #: or "batched" (sparse-calendar bucket drains + structure-of-
+    #: arrays bank state; bit-identical results, several times the
+    #: events/sec — see docs/performance.md)
+    step_mode: str = "event"
+    #: SMARTS-style sampled simulation (detailed windows + functional
+    #: fast-forward with CI estimates); disabled = exact. Every knob
+    #: rides the full-config cache key like any other field.
+    sampling: SamplingConfig = field(default_factory=SamplingConfig)
     energy_model: EnergyModel = field(default_factory=EnergyModel)
     # -- reliability (fault campaigns; disabled by default) --
     ras: RasConfig = field(default_factory=RasConfig)
@@ -157,6 +167,10 @@ class SystemConfig:
             raise ConfigError("cores must be positive")
         if self.cache_ways <= 0:
             raise ConfigError("cache_ways must be positive")
+        if self.step_mode not in ("event", "batched"):
+            raise ConfigError(
+                f"unknown step_mode {self.step_mode!r}; choose from "
+                "('event', 'batched')")
         if self.cache_organization not in ("set_associative", "reference"):
             raise ConfigError(
                 f"unknown cache_organization {self.cache_organization!r}")

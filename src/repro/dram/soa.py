@@ -1,0 +1,125 @@
+"""Structure-of-arrays bank state for the batched step mode.
+
+``SystemConfig(step_mode="batched")`` reshapes the per-bank hot state
+of each cache channel from one Python object per bank into shared
+numpy columns (:class:`BankStateArrays`): data-bank busy-until,
+open-row, per-bank queued-op depth, and the tag-bank busy-until the
+early-probe machinery consults. :class:`SoaBank` keeps the exact
+:class:`~repro.dram.bank.Bank` protocol — every scalar transition
+(reserve, block_until, set_ready) lands directly in the column — so
+group transitions and group queries become single vectorized passes
+instead of per-bank Python loops:
+
+* all-bank refresh blocks every data and tag bank with one
+  ``np.maximum`` pass (:meth:`BankStateArrays.block_all_until`);
+* FR-FCFS selection over a deep queue asks for the first queued op
+  whose bank is ready with one gather + compare
+  (:meth:`BankStateArrays.first_ready`) instead of a per-op loop.
+
+Both passes compute exactly what the scalar loops compute (integer
+picosecond state, first-match semantics), so batched runs remain
+bit-identical to the event mode — locked by the whole-run A/B suite.
+The event mode never constructs these arrays and is untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.bank import Bank
+from repro.errors import ConfigError
+
+
+class BankStateArrays:
+    """Shared per-bank state columns for one channel (int64, ps).
+
+    ``ready_at``/``tag_ready_at`` are the canonical busy-until times of
+    the attached :class:`SoaBank` views; ``open_row`` mirrors open-page
+    state (−1 = precharged); ``queue_depth`` counts queued cache ops
+    per bank (maintained by the channel scheduler) for introspection
+    and diagnostics.
+    """
+
+    def __init__(self, n_banks: int) -> None:
+        if n_banks <= 0:
+            raise ConfigError("n_banks must be positive")
+        self.n_banks = n_banks
+        self.ready_at = np.zeros(n_banks, dtype=np.int64)
+        self.tag_ready_at = np.zeros(n_banks, dtype=np.int64)
+        self.open_row = np.full(n_banks, -1, dtype=np.int64)
+        self.tag_open_row = np.full(n_banks, -1, dtype=np.int64)
+        self.queue_depth = np.zeros(n_banks, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Vectorized group transitions
+    # ------------------------------------------------------------------
+    def block_all_until(self, time: int) -> None:
+        """All-bank refresh as one array pass: push every data and tag
+        bank out to ``time`` (``ready = max(ready, time)`` per bank)
+        and precharge every data row — exactly the per-bank
+        ``block_until`` + ``close_row`` loop, vectorized."""
+        np.maximum(self.ready_at, time, out=self.ready_at)
+        np.maximum(self.tag_ready_at, time, out=self.tag_ready_at)
+        self.open_row.fill(-1)
+
+    # ------------------------------------------------------------------
+    # Vectorized group queries
+    # ------------------------------------------------------------------
+    def first_ready(self, bank_ids: np.ndarray, at: int) -> int:
+        """Index of the first entry whose bank is ready at ``at``.
+
+        ``bank_ids`` is the queue's per-op bank column (queue order =
+        age order, so "first" = FR-FCFS's oldest-ready). Returns −1
+        when no listed bank is ready — the caller falls back to the
+        oldest op, as the scalar loop does.
+        """
+        mask = self.ready_at[bank_ids] <= at
+        index = int(mask.argmax())  # first True (argmax on bool)
+        return index if bool(mask[index]) else -1
+
+    def ready_mask(self, at: int) -> np.ndarray:
+        """Boolean per-bank readiness at ``at`` (data banks)."""
+        return self.ready_at <= at
+
+    def depths(self) -> list:
+        """Per-bank queued-op depths as a plain list (introspection)."""
+        return self.queue_depth.tolist()
+
+
+class SoaBank(Bank):
+    """A :class:`Bank` whose hot state lives in shared columns.
+
+    The columns (a ``ready_at``/``tag_ready_at`` pair plus an open-row
+    column from one :class:`BankStateArrays`) are canonical: every
+    read and write of the bank's ``_ready_at``/``open_row`` routes
+    through the properties below, so scalar transitions and vectorized
+    passes observe the same state with no mirror to keep in sync. The
+    remaining bookkeeping (access counts, busy time, tRAS/tWR
+    horizons) stays on the instance.
+    """
+
+    def __init__(self, index: int, ready_column: np.ndarray,
+                 open_column: np.ndarray) -> None:
+        self._ready_column = ready_column
+        self._open_column = open_column
+        super().__init__(index)
+
+    # The settable properties below intentionally shadow plain instance
+    # attributes of Bank with column-backed storage; mypy rejects the
+    # attribute->property override pattern wholesale (python/mypy#4125)
+    # even though every access site type-checks as int.
+    @property
+    def _ready_at(self) -> int:  # type: ignore[override]
+        return int(self._ready_column[self.index])
+
+    @_ready_at.setter
+    def _ready_at(self, value: int) -> None:
+        self._ready_column[self.index] = value
+
+    @property
+    def open_row(self) -> int:  # type: ignore[override]
+        return int(self._open_column[self.index])
+
+    @open_row.setter
+    def open_row(self, value: int) -> None:
+        self._open_column[self.index] = value

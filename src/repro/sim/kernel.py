@@ -36,13 +36,33 @@ allocation: ``sim.at(t, self._writeback, block)`` instead of
 For A/B verification the classic heapq scheduler is still available:
 ``Simulator(queue="heap")`` routes every event through one binary heap.
 Both modes dispatch bit-identically; the ladder is simply faster.
+
+Batched stepping (``step_mode="batched"``)
+------------------------------------------
+``Simulator(step_mode="batched")`` swaps the fixed ring for a **sparse
+calendar**: a dict of occupied bucket id -> pending handles plus a
+min-heap of occupied bucket ids. Scheduling stays O(1) (append to the
+bucket's list), but the drain side no longer walks empty buckets one
+at a time — it pops the next *occupied* bucket id and installs the
+whole bucket as one batch (one sort; a sorted list already satisfies
+the binary-heap invariant, so the dispatch loop is unchanged). Long
+inter-event gaps — refresh idles, drain tails, multi-µs reschedules —
+cost O(log occupied) instead of O(gap/bucket_width), which is where
+the event mode's ``mixed_horizon`` throughput goes.
+
+Dispatch order is still **exactly** the ``(time, seq)`` heap order:
+same/past-bucket arrivals scheduled mid-drain heap-push into the
+current batch, so batched runs are bit-identical to the event mode
+(locked by the randomized equivalence test and the whole-run A/B
+suite in ``tests/test_sampling.py``). ``step_mode="event"`` (and
+``queue="heap"``) remain byte-for-byte the reference implementation.
 """
 
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
 from time import perf_counter_ns
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import SimulationError
 
@@ -125,10 +145,18 @@ class Simulator:
     #: experiments on the reference scheduler.
     DEFAULT_QUEUE = "ladder"
 
-    def __init__(self, queue: Optional[str] = None) -> None:
+    def __init__(self, queue: Optional[str] = None,
+                 step_mode: Optional[str] = None) -> None:
         queue = queue or self.DEFAULT_QUEUE
         if queue not in ("ladder", "heap"):
             raise SimulationError(f"unknown queue implementation {queue!r}")
+        step_mode = step_mode or "event"
+        if step_mode not in ("event", "batched"):
+            raise SimulationError(f"unknown step mode {step_mode!r}")
+        if step_mode == "batched" and queue == "heap":
+            raise SimulationError(
+                "batched step mode replaces the ladder's drain side; "
+                'the reference queue="heap" only pairs with step_mode="event"')
         self._now: int = 0
         self._seq: int = 0
         self._running = False
@@ -147,6 +175,15 @@ class Simulator:
         #: heap of handles beyond the ring horizon
         self._overflow: List[list] = []
         self._heap_mode = queue == "heap"
+        self._batched = step_mode == "batched"
+        #: batched mode's sparse calendar: occupied bucket id -> handles
+        self._cal: Dict[int, List[list]] = {}
+        #: min-heap of occupied calendar bucket ids (batched mode)
+        self._occ: List[int] = []
+        #: drain-side implementation chosen once at construction; the
+        #: dispatch loop and :meth:`peek_time` bind through this
+        self._front_impl: Callable[[], Optional[list]] = (
+            self._front_batched if self._batched else self._front)
         #: optional profiler with ``record(callback, wall_ns)``; set by
         #: the observability layer (``SystemConfig.obs.profile``)
         self.profiler = None
@@ -185,6 +222,19 @@ class Simulator:
             heappush(self._cur, handle)
             return handle
         bid = time >> _BUCKET_SHIFT
+        if self._batched:
+            if bid <= self._cur_bid:
+                # Into (or before) the batch being drained: keep exact
+                # (time, seq) order via the current heap.
+                heappush(self._cur, handle)
+            else:
+                slot = self._cal.get(bid)
+                if slot is None:
+                    self._cal[bid] = [handle]
+                    heappush(self._occ, bid)
+                else:
+                    slot.append(handle)
+            return handle
         offset = bid - self._cur_bid
         if offset <= 0:
             # Into (or before) the bucket being drained: keep exact
@@ -226,7 +276,7 @@ class Simulator:
         O(1) amortised: tombstones and empty buckets the cursor skips
         here are work the next :meth:`run` no longer has to do.
         """
-        head = self._front()
+        head = self._front_impl()
         return None if head is None else head[_TIME]
 
     # ------------------------------------------------------------------
@@ -297,6 +347,40 @@ class Simulator:
             else:
                 return None
 
+    def _front_batched(self) -> Optional[list]:
+        """Batched-mode front: install whole calendar buckets at once.
+
+        Pops the next *occupied* bucket id off the min-heap — empty
+        buckets are never visited — and installs the bucket's surviving
+        handles as the current batch with one sort (a sorted list is a
+        valid binary heap, so the shared dispatch loop needs no
+        ``heapify``). Same/past-bucket arrivals scheduled mid-drain
+        heap-push into the batch (see :meth:`at`), so dispatch order is
+        exactly the event mode's ``(time, seq)`` order. Safe to call
+        outside :meth:`run`, like :meth:`_front`.
+        """
+        cur = self._cur
+        cal = self._cal
+        occ = self._occ
+        while True:
+            while cur:
+                head = cur[0]
+                if head[_CALLBACK] is not None:
+                    return head
+                heappop(cur)
+            if self._live == 0:
+                return None
+            # live > 0 with an empty batch means some calendar slot
+            # holds a live handle, so the occupied-bid heap is non-empty
+            # (every calendar insert pushes its bid exactly once).
+            bid = heappop(occ)
+            batch = [h for h in cal.pop(bid) if h[_CALLBACK] is not None]
+            if not batch:
+                continue
+            self._cur_bid = bid
+            batch.sort()
+            cur[:] = batch
+
     # ------------------------------------------------------------------
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Dispatch events until the queue drains (or a limit is hit).
@@ -336,7 +420,7 @@ class Simulator:
         bound = _UNBOUNDED if until is None else until
         limit = _UNBOUNDED if max_events is None else max_events
         profiler = self.profiler
-        front = self._front
+        front = self._front_impl
         cur = self._cur
         pop = heappop
         try:
@@ -403,6 +487,21 @@ class Simulator:
         ):
             self._now = until
         return dispatched
+
+    def run_batched(self, until: Optional[int] = None,
+                    max_events: Optional[int] = None) -> int:
+        """Dispatch draining whole calendar buckets per scheduler step.
+
+        The explicit entry point for the batched step mode: identical
+        semantics (and return value) to :meth:`run` — the mode is fixed
+        at construction because scheduling itself routes differently —
+        but calling it documents intent and fails loudly when the
+        simulator was built in the exact event mode.
+        """
+        if not self._batched:
+            raise SimulationError(
+                'run_batched() requires Simulator(step_mode="batched")')
+        return self.run(until=until, max_events=max_events)
 
     def stop(self) -> None:
         """Request :meth:`run` to return after the current event.

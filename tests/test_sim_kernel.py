@@ -251,7 +251,7 @@ class TestCancel:
         assert Simulator().peek_time() is None
 
 
-def _run_script(queue: str, seed: int):
+def _run_script(queue: str, seed: int, step_mode: str = "event"):
     """Drive one simulator through a seeded random op stream.
 
     The RNG decides, identically for both queue implementations, a mix
@@ -263,7 +263,7 @@ def _run_script(queue: str, seed: int):
     import random
 
     rng = random.Random(seed)
-    sim = Simulator(queue=queue)
+    sim = Simulator(queue=queue, step_mode=step_mode)
     trace = []
     live = []
     budget = [200]
@@ -299,9 +299,126 @@ def test_ladder_matches_reference_heap_exactly(seed):
     assert _run_script("ladder", seed) == _run_script("heap", seed)
 
 
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_batched_matches_reference_heap_exactly(seed):
+    """Batched stepping (sorted same-bucket drains) dispatches any
+    randomized op stream in the exact (time, seq) order of the
+    reference binary heap — bit-identity is the mode's contract."""
+    assert _run_script("ladder", seed, "batched") == _run_script("heap", seed)
+
+
 def test_heap_mode_rejects_unknown_queue():
     with pytest.raises(SimulationError):
         Simulator(queue="fibonacci")
+
+
+def test_unknown_step_mode_rejected():
+    with pytest.raises(SimulationError):
+        Simulator(step_mode="vectorized")
+
+
+def test_batched_step_mode_rejects_heap_queue():
+    """Batched stepping replaces the ladder's drain side; the reference
+    heap only pairs with the reference event stepping."""
+    with pytest.raises(SimulationError):
+        Simulator(queue="heap", step_mode="batched")
+
+
+def test_run_batched_requires_batched_mode():
+    with pytest.raises(SimulationError):
+        Simulator().run_batched()
+
+
+class TestBatchedClockSemantics:
+    """run(until=)/stop()/max_events contracts must hold identically
+    under batched stepping — the runner's chunked watchdog and the
+    sampled-simulation windows both rely on them."""
+
+    def test_run_until_leaves_later_events_queued(self):
+        sim = Simulator(step_mode="batched")
+        fired = []
+        sim.schedule(ns(10), lambda: fired.append("early"))
+        sim.schedule(ns(100), lambda: fired.append("late"))
+        sim.run(until=ns(50))
+        assert fired == ["early"]
+        assert sim.pending() == 1
+        sim.run_batched()
+        assert fired == ["early", "late"]
+
+    def test_run_until_fast_forwards_empty_queue(self):
+        sim = Simulator(step_mode="batched")
+        sim.run(until=ns(500))
+        assert sim.now == ns(500)
+
+    def test_run_until_advances_clock_past_pending_event(self):
+        sim = Simulator(step_mode="batched")
+        fired = []
+        sim.schedule(ns(1000), lambda: fired.append(sim.now))
+        sim.run(until=ns(100))
+        assert fired == []
+        assert sim.pending() == 1
+        assert sim.now == ns(100)
+
+    def test_chunked_runs_reach_a_far_event_at_its_exact_time(self):
+        sim = Simulator(step_mode="batched")
+        fired = []
+        sim.schedule(ns(1000), lambda: fired.append(sim.now))
+        chunk = ns(100)
+        for _ in range(10):
+            sim.run(until=sim.now + chunk)
+        assert fired == [ns(1000)]
+        assert sim.now == ns(1000)
+
+    def test_stop_does_not_advance_clock_to_bound(self):
+        sim = Simulator(step_mode="batched")
+        sim.schedule(ns(1), sim.stop)
+        sim.schedule(ns(100), lambda: None)
+        sim.run(until=ns(50))
+        assert sim.now == ns(1)
+
+    def test_max_events_does_not_advance_clock_to_bound(self):
+        sim = Simulator(step_mode="batched")
+        sim.schedule(ns(1), lambda: None)
+        sim.schedule(ns(2), lambda: None)
+        sim.run(until=ns(50), max_events=1)
+        assert sim.now == ns(1)
+
+    def test_same_bucket_events_fire_in_schedule_order(self):
+        """A drained bucket's sorted batch must preserve (time, seq)
+        FIFO order for simultaneous events — the tie-break contract."""
+        sim = Simulator(step_mode="batched")
+        fired = []
+        for i in range(8):
+            sim.at(512, lambda i=i: fired.append(i))
+        sim.run_batched()
+        assert fired == list(range(8))
+
+    def test_mid_drain_arrival_lands_in_current_batch(self):
+        """A callback scheduling into the bucket being drained must see
+        its event dispatched this drain, in exact time order."""
+        sim = Simulator(step_mode="batched")
+        fired = []
+        sim.at(100, lambda: (fired.append("a"),
+                             sim.at(200, lambda: fired.append("b"))))
+        sim.at(300, lambda: fired.append("c"))
+        sim.run_batched()
+        assert fired == ["a", "b", "c"]
+
+    def test_cancel_inside_installed_batch(self):
+        sim = Simulator(step_mode="batched")
+        fired = []
+        keep = sim.at(100, lambda: fired.append("keep"))
+        victim = sim.at(200, lambda: fired.append("victim"))
+        assert sim.cancel(victim)
+        sim.run_batched()
+        assert fired == ["keep"]
+        assert sim.cancel(keep) is False
+
+    def test_run_batched_returns_dispatch_count(self):
+        sim = Simulator(step_mode="batched")
+        for i in range(5):
+            sim.schedule(ns(i + 1), lambda: None)
+        assert sim.run_batched() == 5
 
 
 @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50))
